@@ -1,0 +1,165 @@
+//! Shared plumbing for the baseline compilers.
+
+use std::time::Instant;
+use tetris_circuit::{cancel_gates_commutative, Circuit, Metrics};
+use tetris_core::stats::CompileStats;
+use tetris_core::tree::{NodeKind, SynthesisTree};
+use tetris_router::{route, RouterConfig};
+use tetris_topology::{CouplingGraph, Layout};
+
+/// Output of a baseline compiler, aligned with
+/// [`tetris_core::CompileResult`] for apples-to-apples evaluation.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Compiler name (used in table rows).
+    pub name: String,
+    /// The final (hardware-compliant unless noted) circuit.
+    pub circuit: Circuit,
+    /// The same statistics Tetris reports.
+    pub stats: CompileStats,
+    /// Layout after the last gate (`None` for logical-only outputs).
+    pub final_layout: Option<Layout>,
+}
+
+/// Builds a chain tree over *logical* indices: `order[0] → order[1] → … →
+/// order[last]`, with the `Rz` on the last entry. The "device" is the
+/// complete graph, so every edge is legal — this is how the
+/// hardware-oblivious baselines synthesize before routing.
+///
+/// # Panics
+/// Panics if `order` is empty or contains duplicates.
+pub fn chain_tree(order: &[usize]) -> SynthesisTree {
+    assert!(!order.is_empty(), "empty chain");
+    let root = *order.last().expect("non-empty");
+    let mut tree = SynthesisTree::root_only(root, root);
+    for i in (0..order.len() - 1).rev() {
+        tree.add_edge(order[i], order[i + 1], NodeKind::Data(order[i]));
+    }
+    tree
+}
+
+/// Finishes a hardware-oblivious pipeline: optionally cancel on the logical
+/// circuit, route onto `graph` from the trivial layout, optionally cancel
+/// again, and assemble [`CompileStats`].
+pub fn route_and_finish(
+    name: &str,
+    mut logical: Circuit,
+    original_cnots: usize,
+    graph: &CouplingGraph,
+    pre_route_cancel: bool,
+    post_route_cancel: bool,
+    t0: Instant,
+) -> BaselineResult {
+    let emitted_cnots = logical.raw_cnot_count();
+    let mut canceled_cnots = 0;
+    let mut canceled_1q = 0;
+    if pre_route_cancel {
+        let r = cancel_gates_commutative(&mut logical);
+        canceled_cnots += r.removed_cnots;
+        canceled_1q += r.removed_1q;
+    }
+    let routed = route(
+        &logical,
+        graph,
+        Layout::trivial(logical.n_qubits(), graph.n_qubits()),
+        &RouterConfig::default(),
+    );
+    let final_layout = routed.final_layout;
+    let mut circuit = routed.circuit;
+    let swaps_inserted = routed.swap_count;
+    let mut swaps_final = swaps_inserted;
+    if post_route_cancel {
+        let r = cancel_gates_commutative(&mut circuit);
+        canceled_cnots += r.removed_cnots;
+        canceled_1q += r.removed_1q;
+        swaps_final -= r.removed_swaps;
+    }
+    let stats = CompileStats {
+        original_cnots,
+        emitted_cnots,
+        canceled_cnots,
+        swaps_inserted,
+        swaps_final,
+        canceled_1q,
+        metrics: Metrics::of(&circuit),
+        compile_seconds: t0.elapsed().as_secs_f64(),
+    };
+    BaselineResult {
+        name: name.to_string(),
+        circuit,
+        stats,
+        final_layout: Some(final_layout),
+    }
+}
+
+/// Greedy similarity chaining of a block's strings (Paulihedral's
+/// lexicographic-style intra-block ordering): start from the first term,
+/// repeatedly append the remaining string sharing the most non-identity
+/// operators with the current one. Shared by every baseline so that string
+/// order never confounds the synthesis comparison.
+pub fn paulihedral_order(block: &tetris_pauli::PauliBlock) -> tetris_pauli::PauliBlock {
+    if block.terms.len() <= 2 {
+        return block.clone();
+    }
+    let mut remaining = block.terms.clone();
+    let mut ordered = vec![remaining.remove(0)];
+    while !remaining.is_empty() {
+        let cur = &ordered.last().expect("non-empty").string;
+        let (i, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, t)| (cur.common_weight(&t.string), std::cmp::Reverse(*i)))
+            .expect("non-empty");
+        ordered.push(remaining.remove(i));
+    }
+    tetris_pauli::PauliBlock::new(ordered, block.angle, block.label.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_core::emit::emit_string;
+    use tetris_pauli::PauliString;
+    use tetris_sim::Statevector;
+
+    #[test]
+    fn chain_tree_shape() {
+        let t = chain_tree(&[2, 0, 3]);
+        assert_eq!(t.root, 3);
+        let order: Vec<usize> = t.edges_deepest_first().iter().map(|e| e.child).collect();
+        assert_eq!(order, vec![2, 0]);
+        assert_eq!(t.data_nodes().len(), 3);
+    }
+
+    #[test]
+    fn chain_tree_emission_is_correct() {
+        // Logical chain emission must equal the exponential (complete graph
+        // semantics; qubit q = position q).
+        let t = chain_tree(&[0, 1, 2]);
+        let p: PauliString = "XZY".parse().unwrap();
+        let mut c = Circuit::new(3);
+        emit_string(&t, &p, 0.9, &mut c);
+        let mut a = Statevector::random_state(3, 5);
+        let mut b = a.clone();
+        a.apply_circuit(&c);
+        b.apply_pauli_exp(&p, 0.9);
+        assert!(a.equals_up_to_global_phase(&b, 1e-9));
+    }
+
+    #[test]
+    fn route_and_finish_produces_compliant_circuit() {
+        let t = chain_tree(&[0, 3, 1]);
+        let p: PauliString = "XZIY".parse().unwrap();
+        let mut logical = Circuit::new(4);
+        emit_string(&t, &p, 0.4, &mut logical);
+        let graph = CouplingGraph::line(5);
+        let orig = logical.raw_cnot_count();
+        let r = route_and_finish("t", logical, orig, &graph, true, true, Instant::now());
+        assert!(r.circuit.is_hardware_compliant(&graph));
+        assert_eq!(r.stats.original_cnots, orig);
+        assert_eq!(
+            r.stats.metrics.cnot_count,
+            r.stats.logical_cnots() + r.stats.swap_cnots()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Fig. 2: CNOT gate cancellation opportunities — Paulihedral's achieved
+//! ratio vs the `max_cancel` upper bound, for JW and BK encoders.
+
+use tetris_baselines::{max_cancel, paulihedral};
+use tetris_bench::table::Table;
+use tetris_bench::{quick_mode, results_dir, workloads};
+use tetris_pauli::encoder::Encoding;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let quick = quick_mode();
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&["Encoder", "Bench.", "Paulihedral", "max_cancel"]);
+    for enc in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
+        for m in workloads::molecule_set(quick) {
+            let h = workloads::molecule(m, enc);
+            eprintln!("[fig02] {m} {enc}…");
+            let ph = paulihedral::compile(&h, &graph, true).stats.cancel_ratio();
+            let max = max_cancel::max_cancel_ratio(&h);
+            t.row(vec![
+                enc.short_name().into(),
+                m.name().into(),
+                format!("{:.1}%", 100.0 * ph),
+                format!("{:.1}%", 100.0 * max),
+            ]);
+        }
+    }
+    t.emit(&results_dir().join("fig02.csv"));
+}

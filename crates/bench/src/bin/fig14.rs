@@ -1,0 +1,38 @@
+//! Fig. 14: CNOT gate count — T|Ket⟩ vs PCOAST vs Paulihedral vs Tetris vs
+//! Tetris+lookahead on the four smaller molecules (JW, heavy-hex).
+
+use tetris_baselines::{generic, paulihedral, pcoast_like};
+use tetris_bench::table::{human, Table};
+use tetris_bench::{results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::molecules::Molecule;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&[
+        "Bench.", "TKet", "PCOAST", "PH", "Tetris", "Tetris+lookahead",
+    ]);
+    for m in Molecule::SMALL {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        eprintln!("[fig14] {m}: tket…");
+        let tket = generic::compile(&h, &graph, generic::OptLevel::Native);
+        eprintln!("[fig14] {m}: pcoast…");
+        let pcoast = pcoast_like::compile(&h, &graph);
+        eprintln!("[fig14] {m}: ph…");
+        let ph = paulihedral::compile(&h, &graph, true);
+        eprintln!("[fig14] {m}: tetris…");
+        let tetris = TetrisCompiler::new(TetrisConfig::without_lookahead()).compile(&h, &graph);
+        let tetris_la = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
+        t.row(vec![
+            m.name().into(),
+            human(tket.stats.total_cnots()),
+            human(pcoast.stats.total_cnots()),
+            human(ph.stats.total_cnots()),
+            human(tetris.stats.total_cnots()),
+            human(tetris_la.stats.total_cnots()),
+        ]);
+    }
+    t.emit(&results_dir().join("fig14.csv"));
+}

@@ -1,0 +1,26 @@
+//! Fig. 15a: the generic (T|Ket⟩-style) compiler with its native pre+post
+//! optimization versus post-route-only optimization.
+
+use tetris_baselines::generic::{compile, OptLevel};
+use tetris_bench::table::{human, Table};
+use tetris_bench::{results_dir, workloads};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::molecules::Molecule;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&["Bench.", "TKet+TKetO2", "TKet+QiskitO3"]);
+    for m in Molecule::SMALL {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        eprintln!("[fig15a] {m}…");
+        let native = compile(&h, &graph, OptLevel::Native);
+        let post = compile(&h, &graph, OptLevel::PostRouteOnly);
+        t.row(vec![
+            m.name().into(),
+            human(native.stats.total_cnots()),
+            human(post.stats.total_cnots()),
+        ]);
+    }
+    t.emit(&results_dir().join("fig15a.csv"));
+}

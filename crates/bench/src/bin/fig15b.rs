@@ -1,0 +1,40 @@
+//! Fig. 15b: CNOT breakdown (logical vs SWAP-induced) for PCOAST,
+//! Paulihedral and Tetris.
+
+use tetris_baselines::{paulihedral, pcoast_like};
+use tetris_bench::table::{human, Table};
+use tetris_bench::{results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::molecules::Molecule;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&[
+        "Bench.",
+        "PCOAST CNOTs",
+        "PH CNOTs",
+        "Tetris CNOTs",
+        "PCOAST Swap-CNOTs",
+        "PH Swap-CNOTs",
+        "Tetris Swap-CNOTs",
+    ]);
+    for m in Molecule::SMALL {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        eprintln!("[fig15b] {m}…");
+        let pcoast = pcoast_like::compile(&h, &graph);
+        let ph = paulihedral::compile(&h, &graph, true);
+        let tetris = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
+        t.row(vec![
+            m.name().into(),
+            human(pcoast.stats.logical_cnots()),
+            human(ph.stats.logical_cnots()),
+            human(tetris.stats.logical_cnots()),
+            human(pcoast.stats.swap_cnots()),
+            human(ph.stats.swap_cnots()),
+            human(tetris.stats.swap_cnots()),
+        ]);
+    }
+    t.emit(&results_dir().join("fig15b.csv"));
+}

@@ -1,0 +1,47 @@
+//! Fig. 16: Paulihedral and Tetris with and without the post-synthesis
+//! peephole pass (the paper's "with / without Qiskit O3").
+
+use tetris_baselines::paulihedral;
+use tetris_bench::table::{human, Table};
+use tetris_bench::{quick_mode, results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let quick = quick_mode();
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&[
+        "Bench.",
+        "PH raw CNOT",
+        "Tetris raw CNOT",
+        "PH+O3 CNOT",
+        "Tetris+O3 CNOT",
+        "PH raw depth",
+        "Tetris raw depth",
+        "PH+O3 depth",
+        "Tetris+O3 depth",
+    ]);
+    for m in workloads::molecule_set(quick) {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        eprintln!("[fig16] {m}…");
+        let ph_raw = paulihedral::compile(&h, &graph, false);
+        let ph_opt = paulihedral::compile(&h, &graph, true);
+        let mut cfg_raw = TetrisConfig::default();
+        cfg_raw.post_optimize = false;
+        let tet_raw = TetrisCompiler::new(cfg_raw).compile(&h, &graph);
+        let tet_opt = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
+        t.row(vec![
+            m.name().into(),
+            human(ph_raw.stats.total_cnots()),
+            human(tet_raw.stats.total_cnots()),
+            human(ph_opt.stats.total_cnots()),
+            human(tet_opt.stats.total_cnots()),
+            human(ph_raw.stats.metrics.depth),
+            human(tet_raw.stats.metrics.depth),
+            human(ph_opt.stats.metrics.depth),
+            human(tet_opt.stats.metrics.depth),
+        ]);
+    }
+    t.emit(&results_dir().join("fig16.csv"));
+}

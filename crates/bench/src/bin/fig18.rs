@@ -1,0 +1,57 @@
+//! Fig. 18: total CNOT breakdown (logical vs SWAP-induced) for PH, Tetris
+//! and max_cancel on JW, BK and the synthetic UCC set.
+
+use tetris_baselines::{max_cancel, paulihedral};
+use tetris_bench::table::{human, Table};
+use tetris_bench::{quick_mode, results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::Hamiltonian;
+use tetris_topology::CouplingGraph;
+
+fn run_row(t: &mut Table, section: &str, name: &str, h: &Hamiltonian, graph: &CouplingGraph) {
+    eprintln!("[fig18] {section}/{name}…");
+    let ph = paulihedral::compile(h, graph, true);
+    let tetris = TetrisCompiler::new(TetrisConfig::default()).compile(h, graph);
+    let max = max_cancel::compile(h, graph);
+    let improv = if ph.stats.total_cnots() > 0 {
+        format!(
+            "{:+.1}%",
+            (tetris.stats.total_cnots() as f64 - ph.stats.total_cnots() as f64)
+                / ph.stats.total_cnots() as f64
+                * 100.0
+        )
+    } else {
+        "n/a".into()
+    };
+    t.row(vec![
+        section.into(),
+        name.into(),
+        human(ph.stats.total_cnots()),
+        human(tetris.stats.total_cnots()),
+        human(max.stats.total_cnots()),
+        human(ph.stats.swap_cnots()),
+        human(tetris.stats.swap_cnots()),
+        human(max.stats.swap_cnots()),
+        improv,
+    ]);
+}
+
+fn main() {
+    let quick = quick_mode();
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&[
+        "Set", "Bench.", "PH", "Tetris", "max", "PH_S", "Tetris_S", "max_S", "Improv.",
+    ]);
+    for enc in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
+        for m in workloads::molecule_set(quick) {
+            let h = workloads::molecule(m, enc);
+            run_row(&mut t, enc.short_name(), m.name(), &h, &graph);
+        }
+    }
+    for h in workloads::synthetic_set(quick) {
+        let name = h.name.replace("-JW", "");
+        run_row(&mut t, "Synthetic", &name, &h, &graph);
+    }
+    t.emit(&results_dir().join("fig18.csv"));
+}

@@ -1,0 +1,30 @@
+//! Fig. 19: lookahead-K sensitivity — total CNOT and depth as the block
+//! scheduler's window K sweeps 1..22 (JW, heavy-hex).
+
+use tetris_bench::table::Table;
+use tetris_bench::{quick_mode, results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let quick = quick_mode();
+    let graph = CouplingGraph::heavy_hex_65();
+    let ks: Vec<usize> = (1..=22).step_by(3).collect();
+    let mut t = Table::new(&["Bench.", "K", "CNOTs", "Depth"]);
+    for m in workloads::molecule_set(quick) {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        for &k in &ks {
+            eprintln!("[fig19] {m} K={k}…");
+            let r = TetrisCompiler::new(TetrisConfig::default().with_lookahead(k))
+                .compile(&h, &graph);
+            t.row(vec![
+                m.name().into(),
+                k.to_string(),
+                r.stats.total_cnots().to_string(),
+                r.stats.metrics.depth.to_string(),
+            ]);
+        }
+    }
+    t.emit(&results_dir().join("fig19.csv"));
+}

@@ -1,0 +1,34 @@
+//! Fig. 20: SWAP-weight sensitivity — SWAP count and logical CNOT count as
+//! the score weight w sweeps 0.1..100, on heavy-hex (Ithaca) and Sycamore.
+
+use tetris_bench::table::Table;
+use tetris_bench::{results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::molecules::Molecule;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let weights = [0.1, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 10.0, 100.0];
+    let backends = [CouplingGraph::heavy_hex_65(), CouplingGraph::sycamore_64()];
+    let molecules = [Molecule::BeH2, Molecule::MgH2, Molecule::CO2];
+    let mut t = Table::new(&["Bench.", "Backend", "w", "Swaps", "Logical CNOTs"]);
+    for m in molecules {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        for g in &backends {
+            for &w in &weights {
+                eprintln!("[fig20] {m} {} w={w}…", g.name());
+                let r = TetrisCompiler::new(TetrisConfig::default().with_swap_weight(w))
+                    .compile(&h, g);
+                t.row(vec![
+                    m.name().into(),
+                    g.name().into(),
+                    w.to_string(),
+                    r.stats.swaps_final.to_string(),
+                    r.stats.logical_cnots().to_string(),
+                ]);
+            }
+        }
+    }
+    t.emit(&results_dir().join("fig20.csv"));
+}

@@ -1,0 +1,43 @@
+//! Fig. 21: PH vs Tetris on the Google-Sycamore-style backend (JW):
+//! depth and total CNOT with the SWAP-induced breakdown.
+
+use tetris_baselines::paulihedral;
+use tetris_bench::table::{human, improvement, Table};
+use tetris_bench::{quick_mode, results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let quick = quick_mode();
+    let graph = CouplingGraph::sycamore_64();
+    let mut t = Table::new(&[
+        "Bench.",
+        "PH depth",
+        "Tetris depth",
+        "Improv.",
+        "PH CNOT",
+        "Tetris CNOT",
+        "Improv.",
+        "PH_S",
+        "Tetris_S",
+    ]);
+    for m in workloads::molecule_set(quick) {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        eprintln!("[fig21] {m}…");
+        let ph = paulihedral::compile(&h, &graph, true);
+        let tetris = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
+        t.row(vec![
+            m.name().into(),
+            human(ph.stats.metrics.depth),
+            human(tetris.stats.metrics.depth),
+            improvement(ph.stats.metrics.depth, tetris.stats.metrics.depth),
+            human(ph.stats.total_cnots()),
+            human(tetris.stats.total_cnots()),
+            improvement(ph.stats.total_cnots(), tetris.stats.total_cnots()),
+            human(ph.stats.swap_cnots()),
+            human(tetris.stats.swap_cnots()),
+        ]);
+    }
+    t.emit(&results_dir().join("fig21.csv"));
+}

@@ -1,0 +1,51 @@
+//! Fig. 23: QAOA benchmarks — gate count and depth of 2QAN and Tetris
+//! normalized to Paulihedral, averaged over 5 random graph instances.
+
+use tetris_baselines::{paulihedral, qaoa_2qan};
+use tetris_bench::table::Table;
+use tetris_bench::results_dir;
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&[
+        "Bench.", "2QAN/PH gates", "Tetris/PH gates", "2QAN/PH depth", "Tetris/PH depth",
+    ]);
+    let cases: Vec<(String, Box<dyn Fn(u64) -> Graph>)> = vec![
+        ("ran16".into(), Box::new(|s| Graph::random_gnm(16, 25, s))),
+        ("ran18".into(), Box::new(|s| Graph::random_gnm(18, 31, s))),
+        ("ran20".into(), Box::new(|s| Graph::random_gnm(20, 40, s))),
+        ("reg16".into(), Box::new(|s| Graph::random_regular(16, 3, s))),
+        ("reg18".into(), Box::new(|s| Graph::random_regular(18, 3, s))),
+        ("reg20".into(), Box::new(|s| Graph::random_regular(20, 3, s))),
+    ];
+    for (name, gen) in cases {
+        let mut ratios = [0.0f64; 4];
+        let seeds = 5u64;
+        for seed in 0..seeds {
+            eprintln!("[fig23] {name} seed {seed}…");
+            let g = gen(seed * 131 + 7);
+            let h = maxcut_hamiltonian(&g, &name);
+            let ph = paulihedral::compile(&h, &graph, true);
+            let two_qan = qaoa_2qan::compile(&h, &graph, seed);
+            let tetris = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
+            ratios[0] += two_qan.stats.total_cnots() as f64 / ph.stats.total_cnots() as f64;
+            ratios[1] += tetris.stats.total_cnots() as f64 / ph.stats.total_cnots() as f64;
+            ratios[2] += two_qan.stats.metrics.depth as f64 / ph.stats.metrics.depth as f64;
+            ratios[3] += tetris.stats.metrics.depth as f64 / ph.stats.metrics.depth as f64;
+        }
+        for r in &mut ratios {
+            *r /= seeds as f64;
+        }
+        t.row(vec![
+            name,
+            format!("{:.3}", ratios[0]),
+            format!("{:.3}", ratios[1]),
+            format!("{:.3}", ratios[2]),
+            format!("{:.3}", ratios[3]),
+        ]);
+    }
+    t.emit(&results_dir().join("fig23.csv"));
+}

@@ -1,0 +1,56 @@
+//! Fig. 24: scalability — compilation latency of PH and Tetris, with and
+//! without the post-synthesis peephole pass (the paper's Qiskit-O3 split).
+
+use std::time::Instant;
+use tetris_baselines::paulihedral;
+use tetris_bench::table::Table;
+use tetris_bench::{quick_mode, results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_topology::CouplingGraph;
+
+fn main() {
+    let quick = quick_mode();
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&[
+        "Bench.",
+        "PH (s)",
+        "Tetris (s)",
+        "PH+O3 (s)",
+        "Tetris+O3 (s)",
+    ]);
+    for m in workloads::molecule_set(quick) {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        eprintln!("[fig24] {m}…");
+        let t_ph_raw = {
+            let t0 = Instant::now();
+            let _ = paulihedral::compile(&h, &graph, false);
+            t0.elapsed().as_secs_f64()
+        };
+        let t_ph_opt = {
+            let t0 = Instant::now();
+            let _ = paulihedral::compile(&h, &graph, true);
+            t0.elapsed().as_secs_f64()
+        };
+        let mut cfg_raw = TetrisConfig::default();
+        cfg_raw.post_optimize = false;
+        let t_tet_raw = {
+            let t0 = Instant::now();
+            let _ = TetrisCompiler::new(cfg_raw).compile(&h, &graph);
+            t0.elapsed().as_secs_f64()
+        };
+        let t_tet_opt = {
+            let t0 = Instant::now();
+            let _ = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
+            t0.elapsed().as_secs_f64()
+        };
+        t.row(vec![
+            m.name().into(),
+            format!("{t_ph_raw:.3}"),
+            format!("{t_tet_raw:.3}"),
+            format!("{t_ph_opt:.3}"),
+            format!("{t_tet_opt:.3}"),
+        ]);
+    }
+    t.emit(&results_dir().join("fig24.csv"));
+}

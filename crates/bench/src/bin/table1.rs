@@ -1,0 +1,68 @@
+//! Table I: benchmark characteristics — #qubits, #Pauli strings, logical
+//! #CNOT and #1q of the naive synthesis, for molecules (JW), synthetic
+//! UCCSD and QAOA graphs.
+
+use tetris_bench::table::Table;
+use tetris_bench::{quick_mode, results_dir, workloads};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::Hamiltonian;
+
+fn one_q_count(h: &Hamiltonian) -> usize {
+    use tetris_pauli::PauliOp;
+    // Basis gates (2 per X, 4 per Y) + one Rz per string — the logical
+    // single-qubit gate count of the tree synthesis rule.
+    h.terms()
+        .map(|t| {
+            1 + t
+                .string
+                .ops()
+                .iter()
+                .map(|op| match op {
+                    PauliOp::X => 2,
+                    PauliOp::Y => 4,
+                    _ => 0,
+                })
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let mut t = Table::new(&["Type", "Bench.", "#qubits", "#Pauli", "#CNOT", "#1Q"]);
+    for m in workloads::molecule_set(quick) {
+        let h = workloads::molecule(m, Encoding::JordanWigner);
+        t.row(vec![
+            "Molecules".into(),
+            m.name().into(),
+            h.n_qubits.to_string(),
+            h.pauli_string_count().to_string(),
+            h.naive_cnot_count().to_string(),
+            one_q_count(&h).to_string(),
+        ]);
+    }
+    for h in workloads::synthetic_set(quick) {
+        t.row(vec![
+            "UCCSD".into(),
+            h.name.replace("-JW", ""),
+            h.n_qubits.to_string(),
+            h.pauli_string_count().to_string(),
+            h.naive_cnot_count().to_string(),
+            one_q_count(&h).to_string(),
+        ]);
+    }
+    for h in workloads::qaoa_set(7) {
+        // QAOA circuits additionally carry one initial H and one RX-mixer
+        // gate per qubit (2n single-qubit gates), which the paper's Table I
+        // counts; the cost layer itself contributes one Rz per edge.
+        t.row(vec![
+            "QAOA".into(),
+            h.name.clone(),
+            h.n_qubits.to_string(),
+            h.pauli_string_count().to_string(),
+            h.naive_cnot_count().to_string(),
+            (one_q_count(&h) + 2 * h.n_qubits).to_string(),
+        ]);
+    }
+    t.emit(&results_dir().join("table1.csv"));
+}

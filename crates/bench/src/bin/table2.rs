@@ -1,0 +1,58 @@
+//! Table II: Paulihedral vs Tetris on the IBM heavy-hex backend — total
+//! gates, CNOT gates, depth and duration, for the JW and BK encoders plus
+//! the synthetic UCC benchmarks.
+
+use tetris_baselines::paulihedral;
+use tetris_bench::table::{human, improvement, Table};
+use tetris_bench::{quick_mode, results_dir, workloads};
+use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::Hamiltonian;
+use tetris_topology::CouplingGraph;
+
+fn run_row(t: &mut Table, section: &str, name: &str, h: &Hamiltonian, graph: &CouplingGraph) {
+    eprintln!("[table2] {section}/{name}…");
+    let ph = paulihedral::compile(h, graph, true);
+    let tetris = TetrisCompiler::new(TetrisConfig::default()).compile(h, graph);
+    let (pm, tm) = (ph.stats.metrics, tetris.stats.metrics);
+    t.row(vec![
+        section.into(),
+        name.into(),
+        human(pm.total_gates),
+        human(tm.total_gates),
+        improvement(pm.total_gates, tm.total_gates),
+        human(pm.cnot_count),
+        human(tm.cnot_count),
+        improvement(pm.cnot_count, tm.cnot_count),
+        human(pm.depth),
+        human(tm.depth),
+        improvement(pm.depth, tm.depth),
+        human(pm.duration as usize),
+        human(tm.duration as usize),
+        improvement(pm.duration as usize, tm.duration as usize),
+    ]);
+}
+
+fn main() {
+    let quick = quick_mode();
+    let graph = CouplingGraph::heavy_hex_65();
+    let mut t = Table::new(&[
+        "Encoder", "Bench.", "Total PH", "Total Tetris", "Improv.", "CNOT PH", "CNOT Tetris",
+        "Improv.", "Depth PH", "Depth Tetris", "Improv.", "Dur PH", "Dur Tetris", "Improv.",
+    ]);
+    for enc in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
+        let section = match enc {
+            Encoding::JordanWigner => "Jordan-Wigner",
+            Encoding::BravyiKitaev => "Bravyi-Kitaev",
+        };
+        for m in workloads::molecule_set(quick) {
+            let h = workloads::molecule(m, enc);
+            run_row(&mut t, section, m.name(), &h, &graph);
+        }
+    }
+    for h in workloads::synthetic_set(quick) {
+        let name = h.name.replace("-JW", "");
+        run_row(&mut t, "Synthetic", &name, &h, &graph);
+    }
+    t.emit(&results_dir().join("table2.csv"));
+}

@@ -1,0 +1,33 @@
+//! # tetris-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (run
+//! with `cargo run --release -p tetris-bench --bin <exp>`), shared workload
+//! caching, and CSV/markdown emitters. Results land in `results/`.
+//!
+//! Binaries accept an optional `quick` argument that restricts molecule
+//! sweeps to the smaller benchmarks (useful on laptops); the default runs
+//! the paper's full set.
+
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod workloads;
+
+use std::path::PathBuf;
+
+/// Directory where experiment outputs are written (`results/`, created on
+/// demand next to the workspace root or the current directory).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("TETRIS_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Whether the binary was invoked with the `quick` argument (or
+/// `TETRIS_QUICK=1`): sweeps then use the reduced benchmark set.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "quick" || a == "--quick")
+        || std::env::var("TETRIS_QUICK").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,143 @@
+//! Tiny table emitter: prints aligned markdown to stdout and writes CSV to
+//! `results/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple string table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders aligned markdown.
+    pub fn to_markdown(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit_row = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, " {:<w$} |", c, w = width[i]);
+            }
+            out.push('\n');
+        };
+        emit_row(&self.header, &mut out);
+        out.push('|');
+        for w in &width {
+            let _ = write!(out, "{:-<w$}|", "", w = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            emit_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints markdown to stdout and writes CSV to `path`.
+    pub fn emit(&self, path: &Path) {
+        println!("{}", self.to_markdown());
+        std::fs::write(path, self.to_csv()).expect("write csv");
+        println!("→ {}", path.display());
+    }
+}
+
+/// Formats a count with `k`/`M` suffixes like the paper's tables.
+pub fn human(n: usize) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Formats an improvement percentage `(base → new)` as the paper does
+/// (negative = reduction).
+pub fn improvement(base: usize, new: usize) -> String {
+    if base == 0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.2}%", (new as f64 - base as f64) / base as f64 * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_round_trip() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b"));
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn humanized_counts() {
+        assert_eq!(human(950), "950");
+        assert_eq!(human(125_000), "125.0k");
+        assert_eq!(human(12_500_000), "12.5M");
+    }
+
+    #[test]
+    fn improvement_formats_reduction() {
+        assert_eq!(improvement(200, 150), "-25.00%");
+        assert_eq!(improvement(0, 10), "n/a");
+    }
+}

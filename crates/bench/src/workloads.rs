@@ -1,0 +1,70 @@
+//! Workload construction shared by the experiment binaries.
+
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::molecules::Molecule;
+use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
+use tetris_pauli::uccsd::synthetic_ucc;
+use tetris_pauli::Hamiltonian;
+
+/// The molecule sweep: full set, or the four smallest in quick mode.
+pub fn molecule_set(quick: bool) -> Vec<Molecule> {
+    if quick {
+        Molecule::SMALL.to_vec()
+    } else {
+        Molecule::ALL.to_vec()
+    }
+}
+
+/// Builds (and logs) a molecule Hamiltonian.
+pub fn molecule(m: Molecule, encoding: Encoding) -> Hamiltonian {
+    eprintln!("[workload] building {m} under {encoding}…");
+    m.uccsd_hamiltonian(encoding)
+}
+
+/// The synthetic UCC sweep of Table I / Table II (UCC-10 … UCC-35).
+pub fn synthetic_set(quick: bool) -> Vec<Hamiltonian> {
+    let sizes: &[usize] = if quick {
+        &[10, 15, 20]
+    } else {
+        &[10, 15, 20, 25, 30, 35]
+    };
+    sizes
+        .iter()
+        .map(|&n| synthetic_ucc(n, Encoding::JordanWigner, 0x5cc ^ n as u64))
+        .collect()
+}
+
+/// The QAOA benchmark instances of Table I: `(name, hamiltonian)` for one
+/// seed. `Rand-n` uses `G(n, m)` with the paper's edge counts; `REG3-n` is
+/// 3-regular.
+pub fn qaoa_set(seed: u64) -> Vec<Hamiltonian> {
+    let mut out = Vec::new();
+    for (n, m) in [(16usize, 25usize), (18, 31), (20, 40)] {
+        let g = Graph::random_gnm(n, m, seed.wrapping_mul(31) ^ n as u64);
+        out.push(maxcut_hamiltonian(&g, &format!("Rand-{n}")));
+    }
+    for n in [16usize, 18, 20] {
+        let g = Graph::random_regular(n, 3, seed.wrapping_mul(37) ^ n as u64);
+        out.push(maxcut_hamiltonian(&g, &format!("REG3-{n}")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sets_are_subsets() {
+        assert_eq!(molecule_set(true).len(), 4);
+        assert_eq!(molecule_set(false).len(), 6);
+        assert_eq!(synthetic_set(true).len(), 3);
+    }
+
+    #[test]
+    fn qaoa_set_matches_table_1() {
+        let hams = qaoa_set(1);
+        let counts: Vec<usize> = hams.iter().map(|h| h.pauli_string_count()).collect();
+        assert_eq!(counts, vec![25, 31, 40, 24, 27, 30]);
+    }
+}

@@ -1,0 +1,246 @@
+//! A per-qubit doubly-linked DAG view over a gate list.
+//!
+//! Each qubit's gates form a chain in program order; the peephole optimizer
+//! walks and splices these chains. Because gates touch at most two qubits,
+//! the whole structure is two `usize` pairs per gate — building it is a
+//! single linear scan, which keeps optimizing the paper's largest circuits
+//! (CO₂, ≈ 600k gates) in the tens of milliseconds.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateQubits};
+
+/// Sentinel for "no neighbor".
+pub const NONE: usize = usize::MAX;
+
+/// Linkage of one gate on one of its (≤ 2) operand qubits.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    prev: usize,
+    next: usize,
+}
+
+/// The DAG view: for every gate, its predecessor/successor on each operand.
+#[derive(Debug)]
+pub struct CircuitDag {
+    gates: Vec<Gate>,
+    // links[i][slot] — slot 0 is the first operand, slot 1 the second.
+    links: Vec<[Link; 2]>,
+    alive: Vec<bool>,
+    first: Vec<usize>, // per qubit
+    last: Vec<usize>,
+    n_alive: usize,
+}
+
+impl CircuitDag {
+    /// Builds the DAG from a circuit.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.n_qubits();
+        let gates: Vec<Gate> = circuit.gates().to_vec();
+        let mut links = vec![[Link { prev: NONE, next: NONE }; 2]; gates.len()];
+        let mut first = vec![NONE; n];
+        let mut last = vec![NONE; n];
+        for (i, g) in gates.iter().enumerate() {
+            for (slot, q) in g.qubits().iter().enumerate() {
+                let tail = last[q];
+                links[i][slot].prev = tail;
+                if tail == NONE {
+                    first[q] = i;
+                } else {
+                    let tslot = slot_of(&gates[tail], q);
+                    links[tail][tslot].next = i;
+                }
+                last[q] = i;
+            }
+        }
+        let n_alive = gates.len();
+        CircuitDag {
+            gates,
+            links,
+            alive: vec![true; n_alive],
+            first,
+            last,
+            n_alive,
+        }
+    }
+
+    /// The gate at index `i`.
+    #[inline]
+    pub fn gate(&self, i: usize) -> Gate {
+        self.gates[i]
+    }
+
+    /// Mutable access (used by the optimizer for `Rz` angle merging).
+    #[inline]
+    pub fn gate_mut(&mut self, i: usize) -> &mut Gate {
+        &mut self.gates[i]
+    }
+
+    /// Whether gate `i` is still present.
+    #[inline]
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// Number of gates still present.
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Total gate slots (alive + removed).
+    pub fn capacity(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Successor of gate `i` on qubit `q`, or [`NONE`].
+    ///
+    /// # Panics
+    /// Panics (debug) if `q` is not an operand of gate `i`.
+    #[inline]
+    pub fn next_on(&self, i: usize, q: usize) -> usize {
+        self.links[i][slot_of(&self.gates[i], q)].next
+    }
+
+    /// Predecessor of gate `i` on qubit `q`, or [`NONE`].
+    #[inline]
+    pub fn prev_on(&self, i: usize, q: usize) -> usize {
+        self.links[i][slot_of(&self.gates[i], q)].prev
+    }
+
+    /// First alive gate on qubit `q`, or [`NONE`].
+    #[inline]
+    pub fn first_on(&self, q: usize) -> usize {
+        self.first[q]
+    }
+
+    /// Removes gate `i`, splicing all its qubit chains.
+    ///
+    /// # Panics
+    /// Panics if the gate was already removed.
+    pub fn remove(&mut self, i: usize) {
+        assert!(self.alive[i], "gate {i} removed twice");
+        self.alive[i] = false;
+        self.n_alive -= 1;
+        let qubits = self.gates[i].qubits();
+        for (slot, q) in qubits.iter().enumerate() {
+            let Link { prev, next } = self.links[i][slot];
+            if prev == NONE {
+                self.first[q] = next;
+            } else {
+                let ps = slot_of(&self.gates[prev], q);
+                self.links[prev][ps].next = next;
+            }
+            if next == NONE {
+                self.last[q] = prev;
+            } else {
+                let ns = slot_of(&self.gates[next], q);
+                self.links[next][ns].prev = prev;
+            }
+        }
+    }
+
+    /// The neighbors (prev and next on every operand) of gate `i` — the
+    /// candidates whose cancellation opportunities may have changed after
+    /// `i` was removed.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let qubits = self.gates[i].qubits();
+        let pairs: Vec<usize> = match qubits {
+            GateQubits::One(_) => {
+                let l = self.links[i][0];
+                vec![l.prev, l.next]
+            }
+            GateQubits::Two(..) => {
+                let l0 = self.links[i][0];
+                let l1 = self.links[i][1];
+                vec![l0.prev, l0.next, l1.prev, l1.next]
+            }
+        };
+        pairs.into_iter().filter(|&j| j != NONE)
+    }
+
+    /// Reassembles the alive gates, in original program order, into a
+    /// circuit of the given width.
+    pub fn to_circuit(&self, n_qubits: usize) -> Circuit {
+        let mut c = Circuit::new(n_qubits);
+        for (i, g) in self.gates.iter().enumerate() {
+            if self.alive[i] {
+                c.push(*g);
+            }
+        }
+        c
+    }
+}
+
+#[inline]
+fn slot_of(gate: &Gate, q: usize) -> usize {
+    match gate.qubits() {
+        GateQubits::One(a) => {
+            debug_assert_eq!(a, q);
+            0
+        }
+        GateQubits::Two(a, b) => {
+            if q == a {
+                0
+            } else {
+                debug_assert_eq!(b, q);
+                1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0)); // 0
+        c.push(Gate::Cnot(0, 1)); // 1
+        c.push(Gate::H(1)); // 2
+        c.push(Gate::Cnot(1, 2)); // 3
+        c
+    }
+
+    #[test]
+    fn linkage() {
+        let dag = CircuitDag::from_circuit(&sample());
+        assert_eq!(dag.first_on(0), 0);
+        assert_eq!(dag.next_on(0, 0), 1);
+        assert_eq!(dag.next_on(1, 0), NONE);
+        assert_eq!(dag.next_on(1, 1), 2);
+        assert_eq!(dag.next_on(2, 1), 3);
+        assert_eq!(dag.prev_on(3, 1), 2);
+        assert_eq!(dag.first_on(2), 3);
+    }
+
+    #[test]
+    fn removal_splices_chains() {
+        let mut dag = CircuitDag::from_circuit(&sample());
+        dag.remove(2); // H(1)
+        assert_eq!(dag.next_on(1, 1), 3);
+        assert_eq!(dag.prev_on(3, 1), 1);
+        assert_eq!(dag.n_alive(), 3);
+        let c = dag.to_circuit(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.gates()[1], Gate::Cnot(0, 1));
+    }
+
+    #[test]
+    fn remove_head_updates_first() {
+        let mut dag = CircuitDag::from_circuit(&sample());
+        dag.remove(0);
+        assert_eq!(dag.first_on(0), 1);
+        dag.remove(1);
+        assert_eq!(dag.first_on(0), NONE);
+        assert_eq!(dag.first_on(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "removed twice")]
+    fn double_remove_panics() {
+        let mut dag = CircuitDag::from_circuit(&sample());
+        dag.remove(1);
+        dag.remove(1);
+    }
+}

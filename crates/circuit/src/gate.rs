@@ -1,0 +1,255 @@
+//! The gate set shared by all compilers in the workspace.
+
+use std::fmt;
+
+/// A quantum gate on physical or logical qubit indices.
+///
+/// The set is exactly what VQA ansatz synthesis needs: Clifford basis
+/// changes (`H`, `S`, `S†`, `X`), the parametrized `Rz`, the hardware
+/// two-qubit gate `CNOT`, the routing `SWAP` (kept first-class so
+/// SWAP-induced CNOTs can be reported separately, as the paper does), and
+/// `Measure`/`Reset` for the mid-circuit measurement opportunities used by
+/// fast bridging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// Adjoint phase gate `S† = diag(1, -i)`.
+    Sdg(usize),
+    /// Pauli-X.
+    X(usize),
+    /// `Rz(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.
+    Rz(usize, f64),
+    /// Controlled-NOT `(control, target)`.
+    Cnot(usize, usize),
+    /// SWAP; decomposes into 3 CNOTs for all counted metrics.
+    Swap(usize, usize),
+    /// Mid-circuit measurement in the computational basis.
+    Measure(usize),
+    /// Reset to `|0>`.
+    Reset(usize),
+}
+
+impl Gate {
+    /// The qubits the gate acts on (1 or 2 entries).
+    #[inline]
+    pub fn qubits(&self) -> GateQubits {
+        match *self {
+            Gate::H(q) | Gate::S(q) | Gate::Sdg(q) | Gate::X(q) | Gate::Rz(q, _)
+            | Gate::Measure(q) | Gate::Reset(q) => GateQubits::One(q),
+            Gate::Cnot(a, b) | Gate::Swap(a, b) => GateQubits::Two(a, b),
+        }
+    }
+
+    /// Whether this is a two-qubit gate (CNOT or SWAP).
+    #[inline]
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cnot(..) | Gate::Swap(..))
+    }
+
+    /// Number of CNOTs this gate contributes to the paper's "CNOT gate
+    /// count" metric (SWAP = 3).
+    #[inline]
+    pub fn cnot_cost(&self) -> usize {
+        match self {
+            Gate::Cnot(..) => 1,
+            Gate::Swap(..) => 3,
+            _ => 0,
+        }
+    }
+
+    /// The inverse gate, if the gate is unitary.
+    ///
+    /// Returns `None` for `Measure` and `Reset`.
+    pub fn inverse(&self) -> Option<Gate> {
+        Some(match *self {
+            Gate::H(q) => Gate::H(q),
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::X(q) => Gate::X(q),
+            Gate::Rz(q, theta) => Gate::Rz(q, -theta),
+            Gate::Cnot(a, b) => Gate::Cnot(a, b),
+            Gate::Swap(a, b) => Gate::Swap(a, b),
+            Gate::Measure(_) | Gate::Reset(_) => return None,
+        })
+    }
+
+    /// Whether `self · other = I` *exactly* (used by the peephole pass;
+    /// `Rz` pairs are handled by angle merging instead).
+    pub fn cancels_with(&self, other: &Gate) -> bool {
+        match (*self, *other) {
+            (Gate::H(a), Gate::H(b)) | (Gate::X(a), Gate::X(b)) => a == b,
+            (Gate::S(a), Gate::Sdg(b)) | (Gate::Sdg(a), Gate::S(b)) => a == b,
+            (Gate::Cnot(a, b), Gate::Cnot(c, d)) => (a, b) == (c, d),
+            (Gate::Swap(a, b), Gate::Swap(c, d)) => (a, b) == (c, d) || (a, b) == (d, c),
+            _ => false,
+        }
+    }
+
+    /// How the gate acts on one of its operand qubits, for commutation
+    /// analysis: gates whose action on a shared qubit is diagonal in the
+    /// same basis commute.
+    ///
+    /// # Panics
+    /// Panics (debug) if `q` is not an operand.
+    pub fn role_on(&self, q: usize) -> QubitRole {
+        match *self {
+            Gate::Rz(a, _) | Gate::S(a) | Gate::Sdg(a) => {
+                debug_assert_eq!(a, q);
+                QubitRole::ZLike
+            }
+            Gate::X(a) => {
+                debug_assert_eq!(a, q);
+                QubitRole::XLike
+            }
+            Gate::Cnot(c, t) => {
+                if q == c {
+                    QubitRole::ZLike // a control is diagonal in Z
+                } else {
+                    debug_assert_eq!(t, q);
+                    QubitRole::XLike // a target acts like an X-basis gate
+                }
+            }
+            _ => QubitRole::Opaque, // H, SWAP, Measure, Reset
+        }
+    }
+
+    /// Whether two gates commute as operators, using the per-qubit role
+    /// rules: on every *shared* qubit both actions must be diagonal in the
+    /// same basis (Z-like with Z-like, X-like with X-like); disjoint gates
+    /// always commute. Conservative (never claims commutation falsely).
+    pub fn commutes_with(&self, other: &Gate) -> bool {
+        let mine = self.qubits();
+        let theirs = other.qubits();
+        for q in mine.iter() {
+            if theirs.iter().any(|r| r == q) {
+                let ok = matches!(
+                    (self.role_on(q), other.role_on(q)),
+                    (QubitRole::ZLike, QubitRole::ZLike)
+                        | (QubitRole::XLike, QubitRole::XLike)
+                );
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Remaps qubit indices through `f` (used to go logical→physical).
+    pub fn map_qubits(&self, f: impl Fn(usize) -> usize) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Rz(q, t) => Gate::Rz(f(q), t),
+            Gate::Cnot(a, b) => Gate::Cnot(f(a), f(b)),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+            Gate::Measure(q) => Gate::Measure(f(q)),
+            Gate::Reset(q) => Gate::Reset(f(q)),
+        }
+    }
+}
+
+/// How a gate acts on one operand qubit (see [`Gate::role_on`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QubitRole {
+    /// Diagonal in the computational basis (Rz, S, S†, CNOT control).
+    ZLike,
+    /// Diagonal in the X basis (X, CNOT target).
+    XLike,
+    /// Neither (H, SWAP, measurement, reset) — commutes only when disjoint.
+    Opaque,
+}
+
+/// The qubits of a gate without heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateQubits {
+    /// Single-qubit gate operand.
+    One(usize),
+    /// Two-qubit gate operands.
+    Two(usize, usize),
+}
+
+impl GateQubits {
+    /// Iterates over the contained qubit indices.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let (a, b) = match self {
+            GateQubits::One(q) => (q, None),
+            GateQubits::Two(q, r) => (q, Some(r)),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Whether the operand sets intersect.
+    pub fn overlaps(self, other: GateQubits) -> bool {
+        self.iter().any(|q| other.iter().any(|r| q == r))
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::H(q) => write!(f, "h q{q}"),
+            Gate::S(q) => write!(f, "s q{q}"),
+            Gate::Sdg(q) => write!(f, "sdg q{q}"),
+            Gate::X(q) => write!(f, "x q{q}"),
+            Gate::Rz(q, t) => write!(f, "rz({t:.4}) q{q}"),
+            Gate::Cnot(a, b) => write!(f, "cx q{a}, q{b}"),
+            Gate::Swap(a, b) => write!(f, "swap q{a}, q{b}"),
+            Gate::Measure(q) => write!(f, "measure q{q}"),
+            Gate::Reset(q) => write!(f, "reset q{q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubits_and_arity() {
+        assert_eq!(Gate::H(3).qubits().iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(
+            Gate::Cnot(1, 2).qubits().iter().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(Gate::Swap(0, 1).is_two_qubit());
+        assert!(!Gate::Rz(0, 1.0).is_two_qubit());
+    }
+
+    #[test]
+    fn cnot_cost_counts_swap_as_three() {
+        assert_eq!(Gate::Cnot(0, 1).cnot_cost(), 1);
+        assert_eq!(Gate::Swap(0, 1).cnot_cost(), 3);
+        assert_eq!(Gate::H(0).cnot_cost(), 0);
+    }
+
+    #[test]
+    fn inverses() {
+        assert_eq!(Gate::S(1).inverse(), Some(Gate::Sdg(1)));
+        assert_eq!(Gate::Rz(0, 0.5).inverse(), Some(Gate::Rz(0, -0.5)));
+        assert_eq!(Gate::Cnot(0, 1).inverse(), Some(Gate::Cnot(0, 1)));
+        assert_eq!(Gate::Measure(0).inverse(), None);
+    }
+
+    #[test]
+    fn cancellation_pairs() {
+        assert!(Gate::H(2).cancels_with(&Gate::H(2)));
+        assert!(!Gate::H(2).cancels_with(&Gate::H(3)));
+        assert!(Gate::S(0).cancels_with(&Gate::Sdg(0)));
+        assert!(!Gate::S(0).cancels_with(&Gate::S(0)));
+        assert!(Gate::Cnot(0, 1).cancels_with(&Gate::Cnot(0, 1)));
+        assert!(!Gate::Cnot(0, 1).cancels_with(&Gate::Cnot(1, 0)));
+        assert!(Gate::Swap(0, 1).cancels_with(&Gate::Swap(1, 0)));
+    }
+
+    #[test]
+    fn overlap() {
+        assert!(Gate::Cnot(0, 1).qubits().overlaps(Gate::H(1).qubits()));
+        assert!(!Gate::Cnot(0, 1).qubits().overlaps(Gate::H(2).qubits()));
+    }
+}

@@ -1,0 +1,35 @@
+//! # tetris-circuit
+//!
+//! The circuit substrate of the Tetris workspace: the gate set targeted by
+//! every compiler (`{H, S, S†, X, Rz, CNOT, SWAP, Measure, Reset}` — the
+//! paper's IBM basis `{U3, CNOT}` restricted to the gates VQA synthesis
+//! emits), a flat [`Circuit`] container, a per-qubit DAG view, the
+//! fix-point peephole gate-cancellation optimizer that plays the role of
+//! Qiskit O3 in the paper's evaluation, and depth/duration metrics.
+//!
+//! ```
+//! use tetris_circuit::{Circuit, Gate};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::H(0));
+//! c.push(Gate::Cnot(0, 1));
+//! c.push(Gate::Cnot(0, 1)); // back-to-back CNOTs cancel
+//! c.push(Gate::H(0));
+//! let report = tetris_circuit::optimizer::cancel_gates(&mut c);
+//! assert_eq!(report.removed_cnots, 2);
+//! assert_eq!(c.len(), 0); // the H pair cancels after the CNOTs do
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod metrics;
+pub mod optimizer;
+pub mod qasm;
+
+pub use circuit::Circuit;
+pub use gate::Gate;
+pub use metrics::{Durations, Metrics};
+pub use optimizer::{cancel_gates, cancel_gates_commutative, CancelReport};

@@ -1,0 +1,155 @@
+//! Depth and duration metrics (ASAP scheduling).
+//!
+//! The paper's metrics (§VI-A): *circuit depth* is the critical-path length
+//! with SWAP counted as 3 CNOT layers; *circuit duration* is the same
+//! critical path weighted by gate latencies in Qiskit-pulse `dt` units. The
+//! latencies below are representative superconducting values (a CNOT is
+//! ~5× a single-qubit gate; a measurement is much longer); only *relative*
+//! durations matter for the evaluation, which reports percentage
+//! improvements.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Gate latencies in `dt` units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Durations {
+    /// Single-qubit gate duration.
+    pub one_q: u64,
+    /// CNOT duration (a SWAP costs `3 × cnot`).
+    pub cnot: u64,
+    /// Measurement duration.
+    pub measure: u64,
+    /// Reset duration.
+    pub reset: u64,
+}
+
+impl Default for Durations {
+    /// IBM-class defaults: 1q = 160 dt, CNOT = 800 dt, measure = 4000 dt.
+    fn default() -> Self {
+        Durations {
+            one_q: 160,
+            cnot: 800,
+            measure: 4000,
+            reset: 4000,
+        }
+    }
+}
+
+impl Durations {
+    /// Latency of one gate.
+    pub fn of(&self, gate: &Gate) -> u64 {
+        match gate {
+            Gate::Cnot(..) => self.cnot,
+            Gate::Swap(..) => 3 * self.cnot,
+            Gate::Measure(_) => self.measure,
+            Gate::Reset(_) => self.reset,
+            _ => self.one_q,
+        }
+    }
+}
+
+/// Depth/duration/count summary of a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics {
+    /// Critical-path length in gate layers (SWAP = 3 CNOT layers).
+    pub depth: usize,
+    /// Critical-path latency in `dt`.
+    pub duration: u64,
+    /// CNOT-equivalent two-qubit gate count (SWAP = 3).
+    pub cnot_count: usize,
+    /// Single-qubit gate count.
+    pub single_qubit_count: usize,
+    /// Total gate count (1q + CNOT-equivalents).
+    pub total_gates: usize,
+    /// SWAP gates (before decomposition).
+    pub swap_count: usize,
+}
+
+impl Metrics {
+    /// Computes all metrics with default durations.
+    pub fn of(circuit: &Circuit) -> Metrics {
+        Metrics::with_durations(circuit, Durations::default())
+    }
+
+    /// Computes all metrics with explicit durations.
+    pub fn with_durations(circuit: &Circuit, durations: Durations) -> Metrics {
+        let n = circuit.n_qubits();
+        let mut level = vec![0usize; n];
+        let mut time = vec![0u64; n];
+        for g in circuit.gates() {
+            let layers = match g {
+                Gate::Swap(..) => 3,
+                _ => 1,
+            };
+            let dt = durations.of(g);
+            let start_level = g.qubits().iter().map(|q| level[q]).max().unwrap_or(0);
+            let start_time = g.qubits().iter().map(|q| time[q]).max().unwrap_or(0);
+            for q in g.qubits().iter() {
+                level[q] = start_level + layers;
+                time[q] = start_time + dt;
+            }
+        }
+        Metrics {
+            depth: level.iter().copied().max().unwrap_or(0),
+            duration: time.iter().copied().max().unwrap_or(0),
+            cnot_count: circuit.cnot_count(),
+            single_qubit_count: circuit.single_qubit_count(),
+            total_gates: circuit.total_gate_count(),
+            swap_count: circuit.swap_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_vs_parallel_depth() {
+        // Two CNOTs on disjoint qubits run in one layer.
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(2, 3));
+        assert_eq!(Metrics::of(&c).depth, 1);
+        // Chained CNOTs serialize.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(1, 2));
+        assert_eq!(Metrics::of(&c).depth, 2);
+    }
+
+    #[test]
+    fn swap_counts_three_layers() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Swap(0, 1));
+        let m = Metrics::of(&c);
+        assert_eq!(m.depth, 3);
+        assert_eq!(m.cnot_count, 3);
+        assert_eq!(m.duration, 2400);
+    }
+
+    #[test]
+    fn duration_tracks_critical_path() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0)); // 160
+        c.push(Gate::Cnot(0, 1)); // +800
+        c.push(Gate::Rz(1, 0.1)); // +160
+        let m = Metrics::of(&c);
+        assert_eq!(m.duration, 160 + 800 + 160);
+        assert_eq!(m.depth, 3);
+        assert_eq!(m.total_gates, 3);
+    }
+
+    #[test]
+    fn one_qubit_gates_overlap_across_qubits() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push(Gate::H(q));
+        }
+        let m = Metrics::of(&c);
+        assert_eq!(m.depth, 1);
+        assert_eq!(m.duration, 160);
+        assert_eq!(m.single_qubit_count, 3);
+    }
+}

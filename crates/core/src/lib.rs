@@ -1,0 +1,50 @@
+//! # tetris-core
+//!
+//! The Tetris compiler (paper §IV–V): lowers a block-structured Pauli
+//! Hamiltonian onto a hardware coupling graph while exploiting two-qubit
+//! gate cancellation between similar Pauli strings.
+//!
+//! Pipeline (paper Fig. 11):
+//!
+//! 1. **Block analysis** — each block's qubits are split into the
+//!    *root-tree set* (operators differ across strings) and the *leaf-tree
+//!    set* (common operators; their CNOTs can cancel) — done in
+//!    `tetris_pauli::ir`.
+//! 2. **Lookahead block scheduling** (§V-B) — blocks ordered by leaf-section
+//!    similarity (Eq. 1) and root-gathering SWAP cost, top-K candidates.
+//! 3. **Single-block synthesis** (§V-A, Algorithm 1) — root qubits are
+//!    SWAPped into a cluster around a center; each leaf qubit attaches to
+//!    the placed node minimizing `score(qn, qm, w) = (d−1)·w + {2·#ps | 2}`;
+//!    free `|0>` nodes on the way become *fast bridges* instead of SWAPs.
+//! 4. **Emission** — per Pauli string: basis changes, CNOT tree, `Rz`,
+//!    mirror. Identical leaf trees across consecutive strings make the leaf
+//!    CNOTs adjacent inverses, which the shared peephole pass removes.
+//!
+//! ```
+//! use tetris_pauli::molecules::Molecule;
+//! use tetris_pauli::encoder::Encoding;
+//! use tetris_topology::CouplingGraph;
+//! use tetris_core::{TetrisCompiler, TetrisConfig};
+//!
+//! let ham = Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner);
+//! let graph = CouplingGraph::heavy_hex_65();
+//! let result = TetrisCompiler::new(TetrisConfig::default()).compile(&ham, &graph);
+//! assert!(result.circuit.is_hardware_compliant(&graph));
+//! assert!(result.stats.cancel_ratio() > 0.25); // leaf-tree cancellation
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod compiler;
+pub mod config;
+pub mod emit;
+pub mod qaoa;
+pub mod schedule;
+pub mod stats;
+pub mod synthesis;
+pub mod tree;
+
+pub use compiler::{CompileResult, TetrisCompiler};
+pub use config::{InitialLayout, SchedulerKind, TetrisConfig, TreeBias};
+pub use stats::CompileStats;

@@ -1,0 +1,182 @@
+//! The synthesized CNOT tree of one block.
+
+use std::collections::BTreeMap;
+
+/// What a tree node carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A data qubit: `Data(logical index)`.
+    Data(usize),
+    /// A free `|0>` ancilla used as a fast bridge (§IV-C): participates in
+    /// the CNOT tree as a Z-like pass-through, carries no basis gates.
+    Bridge,
+}
+
+/// A directed edge `child → parent` of the CNOT tree (a CNOT with control
+/// `child`, target `parent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeEdge {
+    /// Physical child node.
+    pub child: usize,
+    /// Physical parent node (closer to the root).
+    pub parent: usize,
+    /// What the child carries.
+    pub child_kind: NodeKind,
+}
+
+/// The synthesized tree of one block: every edge points toward the root,
+/// which receives the `Rz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisTree {
+    /// Physical root node (the paper's `findCenter` result).
+    pub root: usize,
+    /// Logical qubit hosted at the root.
+    pub root_logical: usize,
+    /// Edges, each child appearing exactly once.
+    pub edges: Vec<TreeEdge>,
+}
+
+impl SynthesisTree {
+    /// A tree with only the root.
+    pub fn root_only(root: usize, root_logical: usize) -> Self {
+        SynthesisTree {
+            root,
+            root_logical,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an edge.
+    ///
+    /// # Panics
+    /// Panics if `child` already has a parent or equals the root.
+    pub fn add_edge(&mut self, child: usize, parent: usize, child_kind: NodeKind) {
+        assert_ne!(child, self.root, "root cannot be a child");
+        assert!(
+            self.edges.iter().all(|e| e.child != child),
+            "node {child} already attached"
+        );
+        self.edges.push(TreeEdge {
+            child,
+            parent,
+            child_kind,
+        });
+    }
+
+    /// All physical nodes of the tree (root + children).
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut out = vec![self.root];
+        out.extend(self.edges.iter().map(|e| e.child));
+        out
+    }
+
+    /// Physical positions of the data qubits with their logical indices
+    /// (including the root).
+    pub fn data_nodes(&self) -> Vec<(usize, usize)> {
+        let mut out = vec![(self.root, self.root_logical)];
+        for e in &self.edges {
+            if let NodeKind::Data(q) = e.child_kind {
+                out.push((e.child, q));
+            }
+        }
+        out
+    }
+
+    /// Number of bridge (ancilla) nodes.
+    pub fn bridge_count(&self) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.child_kind == NodeKind::Bridge)
+            .count()
+    }
+
+    /// Depth of every node (root = 0), or `None` if an edge's parent is not
+    /// in the tree (malformed).
+    pub fn depths(&self) -> Option<BTreeMap<usize, usize>> {
+        let mut depth = BTreeMap::new();
+        depth.insert(self.root, 0usize);
+        // Edges may be recorded in any order; iterate until fixpoint.
+        let mut remaining: Vec<&TreeEdge> = self.edges.iter().collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|e| {
+                if let Some(&d) = depth.get(&e.parent) {
+                    depth.insert(e.child, d + 1);
+                    false
+                } else {
+                    true
+                }
+            });
+            if remaining.len() == before {
+                return None; // disconnected / cyclic
+            }
+        }
+        Some(depth)
+    }
+
+    /// Whether the tree is well-formed: connected to the root, acyclic (by
+    /// construction each child has one parent), edges between the given
+    /// adjacency test (physical couplings).
+    pub fn validate(&self, adjacent: impl Fn(usize, usize) -> bool) -> bool {
+        self.depths().is_some() && self.edges.iter().all(|e| adjacent(e.child, e.parent))
+    }
+
+    /// Edges ordered deepest-first — the CNOT schedule of the ascending
+    /// (pre-`Rz`) half of the sub-circuit; the mirror uses the reverse.
+    pub fn edges_deepest_first(&self) -> Vec<TreeEdge> {
+        let depth = self.depths().expect("malformed tree");
+        let mut edges = self.edges.clone();
+        edges.sort_by_key(|e| std::cmp::Reverse(depth[&e.child]));
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> SynthesisTree {
+        // 3 → 2 → 1 → 0(root)
+        let mut t = SynthesisTree::root_only(0, 10);
+        t.add_edge(1, 0, NodeKind::Data(11));
+        t.add_edge(2, 1, NodeKind::Bridge);
+        t.add_edge(3, 2, NodeKind::Data(13));
+        t
+    }
+
+    #[test]
+    fn depths_and_order() {
+        let t = chain();
+        let d = t.depths().unwrap();
+        assert_eq!(d[&0], 0);
+        assert_eq!(d[&3], 3);
+        let order: Vec<usize> = t.edges_deepest_first().iter().map(|e| e.child).collect();
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn data_nodes_and_bridges() {
+        let t = chain();
+        assert_eq!(t.data_nodes(), vec![(0, 10), (1, 11), (3, 13)]);
+        assert_eq!(t.bridge_count(), 1);
+        assert_eq!(t.nodes(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn validation() {
+        let t = chain();
+        assert!(t.validate(|a, b| (a as i64 - b as i64).abs() == 1));
+        assert!(!t.validate(|_, _| false));
+        // Orphan edge → malformed.
+        let mut bad = SynthesisTree::root_only(0, 0);
+        bad.add_edge(2, 7, NodeKind::Bridge);
+        assert!(bad.depths().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn duplicate_child_panics() {
+        let mut t = chain();
+        t.add_edge(3, 0, NodeKind::Bridge);
+    }
+}

@@ -1,0 +1,166 @@
+//! A minimal double-precision complex number.
+//!
+//! The workspace deliberately avoids an external `num` dependency; the
+//! handful of operations needed by the fermionic algebra and the statevector
+//! simulator fit in this small type.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use tetris_pauli::C64;
+/// let i = C64::i();
+/// assert!((i * i + C64::one()).norm() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates `re + i·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub const fn zero() -> Self {
+        C64::new(0.0, 0.0)
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    pub const fn one() -> Self {
+        C64::new(1.0, 0.0)
+    }
+
+    /// The imaginary unit.
+    #[inline]
+    pub const fn i() -> Self {
+        C64::new(0.0, 1.0)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64::new(self.re * s, self.im * s)
+    }
+
+    /// Whether both components are within `eps` of zero.
+    #[inline]
+    pub fn is_zero_within(self, eps: f64) -> bool {
+        self.re.abs() <= eps && self.im.abs() <= eps
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_identities() {
+        let z = C64::new(2.5, -1.5);
+        assert_eq!(z + C64::zero(), z);
+        assert_eq!(z * C64::one(), z);
+        assert!((z * z.conj() - C64::from(z.norm_sqr())).norm() < 1e-12);
+        assert_eq!(-(-z), z);
+        assert_eq!(z - z, C64::zero());
+    }
+
+    #[test]
+    fn i_squares_to_minus_one() {
+        assert!((C64::i() * C64::i() + C64::one()).norm() < 1e-15);
+    }
+}

@@ -1,0 +1,320 @@
+//! Fermion-to-spin encoders: Jordan-Wigner and Bravyi-Kitaev.
+//!
+//! Both encoders are expressed as a single map `γ_k → PauliString` from
+//! Majorana operators to Pauli strings (see [`crate::fermion`] for why this
+//! is sufficient). The Jordan-Wigner map produces the familiar `Z…ZX` /
+//! `Z…ZY` chains; the Bravyi-Kitaev map follows the Fenwick-tree
+//! *update / parity / flip / remainder* set construction of
+//! Seeley-Richard-Love, which yields logarithmic-weight strings and — as the
+//! paper observes (§VI-B) — slightly lower inter-string similarity than JW.
+
+use crate::block::PauliTerm;
+use crate::fermion::MajoranaPoly;
+use crate::op::PauliOp;
+use crate::phase::Phase;
+use crate::string::PauliString;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which fermion-to-spin encoding to use; selects one of the two encoders
+/// evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Jordan-Wigner (JW), linear-weight `Z`-chain strings.
+    JordanWigner,
+    /// Bravyi-Kitaev (BK), logarithmic-weight strings.
+    BravyiKitaev,
+}
+
+impl Encoding {
+    /// Short name used in benchmark labels (`JW` / `BK`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Encoding::JordanWigner => "JW",
+            Encoding::BravyiKitaev => "BK",
+        }
+    }
+
+    /// The Pauli string representing Majorana `γ_k` on `n_modes` modes.
+    ///
+    /// # Panics
+    /// Panics if `k ≥ 2·n_modes`.
+    pub fn majorana(self, n_modes: usize, k: usize) -> PauliString {
+        assert!(k < 2 * n_modes, "majorana index out of range");
+        let j = k / 2;
+        let odd = k % 2 == 1;
+        match self {
+            Encoding::JordanWigner => {
+                let mut sites: Vec<(usize, PauliOp)> =
+                    (0..j).map(|q| (q, PauliOp::Z)).collect();
+                sites.push((j, if odd { PauliOp::Y } else { PauliOp::X }));
+                PauliString::from_sparse(n_modes, &sites)
+            }
+            Encoding::BravyiKitaev => {
+                let mut sites: Vec<(usize, PauliOp)> = Vec::new();
+                for q in update_set(j, n_modes) {
+                    sites.push((q, PauliOp::X));
+                }
+                if odd {
+                    sites.push((j, PauliOp::Y));
+                    // remainder set: parity \ flip for odd modes, parity for
+                    // even modes; `j` odd/even here refers to the *mode*
+                    // index parity per Seeley-Richard-Love.
+                    let rho = if j % 2 == 0 {
+                        parity_set(j)
+                    } else {
+                        remainder_set(j)
+                    };
+                    for q in rho {
+                        sites.push((q, PauliOp::Z));
+                    }
+                } else {
+                    sites.push((j, PauliOp::X));
+                    for q in parity_set(j) {
+                        sites.push((q, PauliOp::Z));
+                    }
+                }
+                PauliString::from_sparse(n_modes, &sites)
+            }
+        }
+    }
+
+    /// Encodes an *anti-Hermitian* Majorana polynomial `G` into real-weighted
+    /// Pauli terms `α_P` such that `G = i · Σ α_P · P`.
+    ///
+    /// Terms whose resulting weight is zero (pure identity) or whose
+    /// coefficient is below `1e-12` are dropped; duplicate strings are
+    /// merged.
+    ///
+    /// # Panics
+    /// Panics if `poly` is not anti-Hermitian (a non-negligible real
+    /// component appears), which would indicate a caller bug.
+    pub fn encode(self, poly: &MajoranaPoly) -> Vec<PauliTerm> {
+        let n = poly.n_modes();
+        let mut acc: BTreeMap<PauliString, (f64, f64)> = BTreeMap::new();
+        for (monomial, coeff) in poly.terms() {
+            let mut phase = Phase::One;
+            let mut string = PauliString::identity(n);
+            for &k in monomial {
+                let gamma = self.majorana(n, k as usize);
+                let (p, s) = string.mul(&gamma);
+                phase = phase * p;
+                string = s;
+            }
+            let total = coeff * phase.to_c64();
+            let entry = acc.entry(string).or_insert((0.0, 0.0));
+            entry.0 += total.re;
+            entry.1 += total.im;
+        }
+        let mut terms = Vec::new();
+        for (string, (re, im)) in acc {
+            assert!(
+                re.abs() < 1e-9,
+                "encode: polynomial is not anti-Hermitian (string {string} has real weight {re})"
+            );
+            if im.abs() < 1e-12 || string.is_identity() {
+                continue;
+            }
+            terms.push(PauliTerm::new(string, im));
+        }
+        terms
+    }
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+/// Bravyi-Kitaev *update set* `U(j)`: qubits storing partial sums that must
+/// flip when mode `j` flips (Fenwick-tree ancestors), restricted to `< n`.
+pub fn update_set(j: usize, n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut idx = j + 1;
+    idx += idx & idx.wrapping_neg();
+    while idx <= n {
+        out.push(idx - 1);
+        idx += idx & idx.wrapping_neg();
+    }
+    out
+}
+
+/// Bravyi-Kitaev *parity set* `P(j)`: qubits whose XOR gives the occupation
+/// parity of modes `0..j`.
+pub fn parity_set(j: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut idx = j;
+    while idx > 0 {
+        out.push(idx - 1);
+        idx &= idx - 1;
+    }
+    out
+}
+
+/// Bravyi-Kitaev *flip set* `F(j)` **excluding** `j` itself: qubits whose XOR
+/// with qubit `j` gives the occupation of mode `j` (Fenwick-tree children).
+pub fn flip_set(j: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let idx = j + 1;
+    let parent = idx & (idx - 1);
+    let mut k = j; // == idx - 1
+    while k != parent {
+        out.push(k - 1);
+        k &= k - 1;
+    }
+    out
+}
+
+/// Bravyi-Kitaev *remainder set* `R(j) = P(j) \ F(j)`.
+pub fn remainder_set(j: usize) -> Vec<usize> {
+    let flips = flip_set(j);
+    parity_set(j)
+        .into_iter()
+        .filter(|q| !flips.contains(q))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fermion::{double_excitation, single_excitation};
+
+    #[test]
+    fn jw_majoranas_are_z_chains() {
+        let n = 4;
+        assert_eq!(
+            Encoding::JordanWigner.majorana(n, 0).to_string(),
+            "XIII"
+        );
+        assert_eq!(
+            Encoding::JordanWigner.majorana(n, 1).to_string(),
+            "YIII"
+        );
+        assert_eq!(
+            Encoding::JordanWigner.majorana(n, 6).to_string(),
+            "ZZZX"
+        );
+        assert_eq!(
+            Encoding::JordanWigner.majorana(n, 7).to_string(),
+            "ZZZY"
+        );
+    }
+
+    #[test]
+    fn bk_sets_small_cases() {
+        // Worked examples for n = 8 (standard Fenwick layout).
+        assert_eq!(parity_set(0), vec![]);
+        assert_eq!(parity_set(1), vec![0]);
+        assert_eq!(parity_set(2), vec![1]);
+        assert_eq!(parity_set(3), vec![2, 1]);
+        assert_eq!(parity_set(7), vec![6, 5, 3]);
+        assert_eq!(update_set(0, 8), vec![1, 3, 7]);
+        assert_eq!(update_set(2, 8), vec![3, 7]);
+        assert_eq!(update_set(7, 8), vec![]);
+        assert_eq!(flip_set(1), vec![0]);
+        assert_eq!(flip_set(3), vec![2, 1]);
+        assert_eq!(flip_set(7), vec![6, 5, 3]);
+        assert_eq!(flip_set(0), vec![]);
+        assert_eq!(remainder_set(3), vec![]);
+        assert_eq!(remainder_set(5), vec![3]);
+    }
+
+    fn check_majorana_algebra(enc: Encoding, n: usize) {
+        // The encoder must be a representation of the Majorana algebra:
+        // γ_k² = 1 (automatic for Pauli strings) and γ_k γ_l = −γ_l γ_k,
+        // i.e. distinct images must anticommute.
+        for k in 0..2 * n {
+            for l in (k + 1)..2 * n {
+                let a = enc.majorana(n, k);
+                let b = enc.majorana(n, l);
+                assert!(
+                    !a.commutes_with(&b),
+                    "{enc}: γ{k} and γ{l} must anticommute ({a} vs {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jw_is_a_majorana_representation() {
+        for n in 1..=6 {
+            check_majorana_algebra(Encoding::JordanWigner, n);
+        }
+    }
+
+    #[test]
+    fn bk_is_a_majorana_representation() {
+        for n in 1..=9 {
+            check_majorana_algebra(Encoding::BravyiKitaev, n);
+        }
+    }
+
+    #[test]
+    fn jw_single_excitation_strings() {
+        // a†_2 a_0 − h.c. under JW: the textbook (XZY − YZX)/2 pair.
+        let g = single_excitation(3, 2, 0);
+        let mut terms = Encoding::JordanWigner.encode(&g);
+        terms.sort_by(|a, b| a.string.cmp(&b.string));
+        let rendered: Vec<(String, f64)> = terms
+            .iter()
+            .map(|t| (t.string.to_string(), t.coeff))
+            .collect();
+        assert_eq!(rendered.len(), 2);
+        assert_eq!(rendered[0].0, "XZY");
+        assert_eq!(rendered[1].0, "YZX");
+        assert!((rendered[0].1.abs() - 0.5).abs() < 1e-12);
+        assert!((rendered[1].1.abs() - 0.5).abs() < 1e-12);
+        assert!(rendered[0].1 * rendered[1].1 < 0.0, "opposite signs");
+    }
+
+    #[test]
+    fn jw_double_excitation_has_eight_strings() {
+        let g = double_excitation(6, 5, 4, 1, 0);
+        let terms = Encoding::JordanWigner.encode(&g);
+        assert_eq!(terms.len(), 8);
+        for t in &terms {
+            assert!((t.coeff.abs() - 0.125).abs() < 1e-12);
+            // All strings share the same support for JW doubles.
+            assert_eq!(
+                t.string.support().collect::<Vec<_>>(),
+                terms[0].string.support().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn bk_double_excitation_has_eight_strings() {
+        let g = double_excitation(8, 7, 6, 1, 0);
+        let terms = Encoding::BravyiKitaev.encode(&g);
+        assert_eq!(terms.len(), 8);
+    }
+
+    #[test]
+    fn encoded_terms_pairwise_commute() {
+        // Strings arising from one excitation block commute — required for
+        // the block to be simultaneously diagonalizable / trotter-friendly.
+        for enc in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
+            let g = double_excitation(8, 6, 4, 3, 0);
+            let terms = enc.encode(&g);
+            for a in &terms {
+                for b in &terms {
+                    assert!(a.string.commutes_with(&b.string), "{enc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bk_weight_is_logarithmic_ish() {
+        // For a chain-spanning excitation the JW weight grows linearly while
+        // BK stays O(log n).
+        let n = 16;
+        let jw = Encoding::JordanWigner.encode(&single_excitation(n, n - 1, 0));
+        let bk = Encoding::BravyiKitaev.encode(&single_excitation(n, n - 1, 0));
+        let jw_max = jw.iter().map(|t| t.string.weight()).max().unwrap();
+        let bk_max = bk.iter().map(|t| t.string.weight()).max().unwrap();
+        assert_eq!(jw_max, n);
+        assert!(bk_max < n / 2, "bk weight {bk_max} should be < {}", n / 2);
+    }
+}

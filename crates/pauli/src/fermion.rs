@@ -1,0 +1,387 @@
+//! Fermionic operator algebra over Majorana monomials.
+//!
+//! Every product of creation/annihilation operators expands into a polynomial
+//! of *Majorana* operators `γ_0 … γ_{2n−1}` with
+//!
+//! ```text
+//! γ_{2p}   = a_p + a†_p            γ_{2p+1} = -i (a_p − a†_p)
+//! γ_k γ_l  = -γ_l γ_k (k ≠ l)      γ_k² = 1
+//! ```
+//!
+//! Working in the Majorana basis lets every fermion-to-spin encoder be
+//! described by a single map `γ_k → PauliString` (see [`crate::encoder`]);
+//! Jordan-Wigner and Bravyi-Kitaev then differ only in that map, and the
+//! UCCSD generator is written once for both.
+
+use crate::complex::C64;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A polynomial in Majorana operators: a complex-weighted sum of monomials,
+/// each a product of *distinct ascending* Majorana indices.
+///
+/// ```
+/// use tetris_pauli::fermion::MajoranaPoly;
+/// let n = 2; // modes
+/// let a = MajoranaPoly::annihilate(n, 0);
+/// let ad = MajoranaPoly::create(n, 0);
+/// // {a, a†} = 1
+/// let anti = a.mul(&ad).add(&ad.mul(&a));
+/// assert!(anti.is_identity_within(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MajoranaPoly {
+    n_modes: usize,
+    terms: BTreeMap<Vec<u32>, C64>,
+}
+
+impl MajoranaPoly {
+    /// The zero polynomial on `n_modes` fermionic modes.
+    pub fn zero(n_modes: usize) -> Self {
+        MajoranaPoly {
+            n_modes,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The scalar `c` (empty monomial).
+    pub fn scalar(n_modes: usize, c: C64) -> Self {
+        let mut p = MajoranaPoly::zero(n_modes);
+        if c.norm() > 0.0 {
+            p.terms.insert(Vec::new(), c);
+        }
+        p
+    }
+
+    /// The single Majorana `γ_k`.
+    ///
+    /// # Panics
+    /// Panics if `k ≥ 2·n_modes`.
+    pub fn majorana(n_modes: usize, k: u32) -> Self {
+        assert!((k as usize) < 2 * n_modes, "majorana index out of range");
+        let mut p = MajoranaPoly::zero(n_modes);
+        p.terms.insert(vec![k], C64::one());
+        p
+    }
+
+    /// The annihilation operator `a_p = (γ_{2p} + i γ_{2p+1}) / 2`.
+    pub fn annihilate(n_modes: usize, p: usize) -> Self {
+        let even = MajoranaPoly::majorana(n_modes, 2 * p as u32);
+        let odd = MajoranaPoly::majorana(n_modes, 2 * p as u32 + 1);
+        even.add(&odd.scaled(C64::i())).scaled(C64::from(0.5))
+    }
+
+    /// The creation operator `a†_p = (γ_{2p} − i γ_{2p+1}) / 2`.
+    pub fn create(n_modes: usize, p: usize) -> Self {
+        let even = MajoranaPoly::majorana(n_modes, 2 * p as u32);
+        let odd = MajoranaPoly::majorana(n_modes, 2 * p as u32 + 1);
+        even.add(&odd.scaled(-C64::i())).scaled(C64::from(0.5))
+    }
+
+    /// Number of fermionic modes.
+    pub fn n_modes(&self) -> usize {
+        self.n_modes
+    }
+
+    /// The monomials and their coefficients, ascending by monomial.
+    pub fn terms(&self) -> impl Iterator<Item = (&[u32], C64)> {
+        self.terms.iter().map(|(m, &c)| (m.as_slice(), c))
+    }
+
+    /// Number of monomials with non-zero coefficient.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the polynomial has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Sum of two polynomials.
+    ///
+    /// # Panics
+    /// Panics on mode-count mismatch.
+    pub fn add(&self, other: &MajoranaPoly) -> MajoranaPoly {
+        assert_eq!(self.n_modes, other.n_modes, "mode count mismatch");
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            let entry = out.terms.entry(m.clone()).or_insert(C64::zero());
+            *entry += *c;
+            if entry.is_zero_within(1e-14) {
+                out.terms.remove(m);
+            }
+        }
+        out
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &MajoranaPoly) -> MajoranaPoly {
+        self.add(&other.scaled(C64::from(-1.0)))
+    }
+
+    /// Scales every coefficient.
+    pub fn scaled(&self, c: C64) -> MajoranaPoly {
+        let mut out = MajoranaPoly::zero(self.n_modes);
+        if c.is_zero_within(0.0) {
+            return out;
+        }
+        for (m, v) in &self.terms {
+            out.terms.insert(m.clone(), *v * c);
+        }
+        out
+    }
+
+    /// Product of two polynomials, normal-ordering every resulting monomial
+    /// with the anticommutation sign and `γ² = 1` eliminations.
+    ///
+    /// # Panics
+    /// Panics on mode-count mismatch.
+    pub fn mul(&self, other: &MajoranaPoly) -> MajoranaPoly {
+        assert_eq!(self.n_modes, other.n_modes, "mode count mismatch");
+        use std::collections::btree_map::Entry;
+        let mut out = MajoranaPoly::zero(self.n_modes);
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &other.terms {
+                let mut concat: Vec<u32> = Vec::with_capacity(ma.len() + mb.len());
+                concat.extend_from_slice(ma);
+                concat.extend_from_slice(mb);
+                let (sign, normal) = normalize_monomial(concat);
+                let coeff = (*ca * *cb).scale(sign);
+                match out.terms.entry(normal) {
+                    Entry::Occupied(mut e) => {
+                        *e.get_mut() += coeff;
+                        if e.get().is_zero_within(1e-14) {
+                            e.remove();
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        if !coeff.is_zero_within(1e-14) {
+                            v.insert(coeff);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Hermitian adjoint. Conjugates coefficients and reverses each monomial
+    /// (equivalently: multiplies by the reversal sign `(−1)^{k(k−1)/2}`).
+    pub fn adjoint(&self) -> MajoranaPoly {
+        let mut out = MajoranaPoly::zero(self.n_modes);
+        for (m, c) in &self.terms {
+            let k = m.len();
+            // Reversing an ascending product of k distinct anticommuting
+            // factors contributes (−1)^{k(k−1)/2}.
+            let sign = if (k * k.saturating_sub(1) / 2) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            out.terms.insert(m.clone(), c.conj().scale(sign));
+        }
+        out
+    }
+
+    /// Whether this polynomial equals the identity scalar within `eps`.
+    pub fn is_identity_within(&self, eps: f64) -> bool {
+        self.terms.iter().all(|(m, c)| {
+            if m.is_empty() {
+                (c.re - 1.0).abs() <= eps && c.im.abs() <= eps
+            } else {
+                c.is_zero_within(eps)
+            }
+        }) && self.terms.contains_key(&Vec::new())
+    }
+
+    /// Whether every coefficient is within `eps` of zero.
+    pub fn is_zero_within(&self, eps: f64) -> bool {
+        self.terms.values().all(|c| c.is_zero_within(eps))
+    }
+}
+
+impl fmt::Display for MajoranaPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "({c})")?;
+            for k in m {
+                write!(f, "·γ{k}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sorts a Majorana index word into ascending order, tracking the
+/// anticommutation sign, and cancels equal adjacent pairs (`γ² = 1`).
+/// Returns `(sign, normal_form)`.
+fn normalize_monomial(mut word: Vec<u32>) -> (f64, Vec<u32>) {
+    // Insertion sort, counting transpositions — words are short (≤ 8 for
+    // UCCSD doubles), so O(k²) is faster than anything clever.
+    let mut sign = 1.0;
+    for i in 1..word.len() {
+        let mut j = i;
+        while j > 0 && word[j - 1] > word[j] {
+            word.swap(j - 1, j);
+            sign = -sign;
+            j -= 1;
+        }
+    }
+    // Remove equal adjacent pairs; they are adjacent after sorting.
+    let mut normal = Vec::with_capacity(word.len());
+    let mut i = 0;
+    while i < word.len() {
+        if i + 1 < word.len() && word[i] == word[i + 1] {
+            i += 2; // γ² = 1, sign unaffected
+        } else {
+            normal.push(word[i]);
+            i += 1;
+        }
+    }
+    (sign, normal)
+}
+
+/// The anti-Hermitian single-excitation generator `t·(a†_p a_q − a†_q a_p)`
+/// with `t = 1` (scaling is applied by the caller).
+///
+/// # Panics
+/// Panics if `p == q` or indices exceed `n_modes`.
+pub fn single_excitation(n_modes: usize, p: usize, q: usize) -> MajoranaPoly {
+    assert!(p != q, "excitation requires distinct modes");
+    assert!(p < n_modes && q < n_modes, "mode index out of range");
+    let t = MajoranaPoly::create(n_modes, p).mul(&MajoranaPoly::annihilate(n_modes, q));
+    t.sub(&t.adjoint())
+}
+
+/// The anti-Hermitian double-excitation generator
+/// `t·(a†_p a†_q a_r a_s − a†_s a†_r a_q a_p)` with `t = 1`.
+///
+/// # Panics
+/// Panics if the four indices are not distinct or exceed `n_modes`.
+pub fn double_excitation(n_modes: usize, p: usize, q: usize, r: usize, s: usize) -> MajoranaPoly {
+    let idx = [p, q, r, s];
+    for (i, a) in idx.iter().enumerate() {
+        assert!(*a < n_modes, "mode index out of range");
+        for b in idx.iter().skip(i + 1) {
+            assert!(a != b, "excitation requires distinct modes");
+        }
+    }
+    let t = MajoranaPoly::create(n_modes, p)
+        .mul(&MajoranaPoly::create(n_modes, q))
+        .mul(&MajoranaPoly::annihilate(n_modes, r))
+        .mul(&MajoranaPoly::annihilate(n_modes, s));
+    t.sub(&t.adjoint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majoranas_anticommute_and_square_to_one() {
+        let n = 3;
+        for k in 0..2 * n as u32 {
+            let g = MajoranaPoly::majorana(n, k);
+            assert!(g.mul(&g).is_identity_within(1e-12), "γ{k}² = 1");
+            for l in 0..2 * n as u32 {
+                if k == l {
+                    continue;
+                }
+                let gl = MajoranaPoly::majorana(n, l);
+                let anti = g.mul(&gl).add(&gl.mul(&g));
+                assert!(anti.is_zero_within(1e-12), "{{γ{k}, γ{l}}} = 0");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_anticommutation_relations() {
+        let n = 2;
+        for p in 0..n {
+            for q in 0..n {
+                let a = MajoranaPoly::annihilate(n, p);
+                let bd = MajoranaPoly::create(n, q);
+                let anti = a.mul(&bd).add(&bd.mul(&a));
+                if p == q {
+                    assert!(anti.is_identity_within(1e-12), "{{a{p}, a†{q}}} = 1");
+                } else {
+                    assert!(anti.is_zero_within(1e-12), "{{a{p}, a†{q}}} = 0");
+                }
+                // {a_p, a_q} = 0 always.
+                let b = MajoranaPoly::annihilate(n, q);
+                let anti2 = a.mul(&b).add(&b.mul(&a));
+                assert!(anti2.is_zero_within(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn nilpotency() {
+        let n = 2;
+        let a = MajoranaPoly::annihilate(n, 1);
+        assert!(a.mul(&a).is_zero_within(1e-12), "a² = 0");
+        let ad = MajoranaPoly::create(n, 1);
+        assert!(ad.mul(&ad).is_zero_within(1e-12), "a†² = 0");
+    }
+
+    #[test]
+    fn adjoint_is_involutive_and_antimultiplicative() {
+        let n = 3;
+        let x = MajoranaPoly::create(n, 0).mul(&MajoranaPoly::annihilate(n, 2));
+        assert_eq!(x.adjoint().adjoint(), x);
+        let y = MajoranaPoly::create(n, 1);
+        let lhs = x.mul(&y).adjoint();
+        let rhs = y.adjoint().mul(&x.adjoint());
+        assert!(lhs.sub(&rhs).is_zero_within(1e-12), "(xy)† = y†x†");
+    }
+
+    #[test]
+    fn excitations_are_anti_hermitian() {
+        let n = 4;
+        let g1 = single_excitation(n, 3, 0);
+        assert!(g1.add(&g1.adjoint()).is_zero_within(1e-12));
+        let g2 = double_excitation(n, 3, 2, 1, 0);
+        assert!(g2.add(&g2.adjoint()).is_zero_within(1e-12));
+    }
+
+    #[test]
+    fn single_excitation_has_two_monomials() {
+        // (a†_p a_q − h.c.) = ½(γ_{2p}γ_{2q} + γ_{2p+1}γ_{2q+1}) for p≠q —
+        // exactly two Majorana monomials. Anti-Hermiticity forces *real*
+        // coefficients on 2-index monomials (reversing a pair gives −1).
+        let g = single_excitation(4, 2, 0);
+        assert_eq!(g.len(), 2);
+        for (m, c) in g.terms() {
+            assert_eq!(m.len(), 2);
+            assert!(c.im.abs() < 1e-12, "pair coefficients must be real");
+        }
+    }
+
+    #[test]
+    fn double_excitation_has_eight_monomials() {
+        let g = double_excitation(6, 5, 4, 1, 0);
+        assert_eq!(g.len(), 8);
+        for (m, c) in g.terms() {
+            assert_eq!(m.len(), 4);
+            // Reversing 4 distinct factors gives (−1)^6 = +1, so
+            // anti-Hermiticity forces imaginary coefficients here.
+            assert!(c.re.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalize_monomial_signs() {
+        assert_eq!(normalize_monomial(vec![1, 0]), (-1.0, vec![0, 1]));
+        assert_eq!(normalize_monomial(vec![0, 1]), (1.0, vec![0, 1]));
+        assert_eq!(normalize_monomial(vec![2, 2]), (1.0, vec![]));
+        // γ1 γ0 γ1 = -γ0 γ1 γ1 = -γ0
+        assert_eq!(normalize_monomial(vec![1, 0, 1]), (-1.0, vec![0]));
+    }
+}

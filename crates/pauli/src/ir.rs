@@ -1,0 +1,236 @@
+//! The Tetris IR (paper §IV-B): Pauli-string blocks annotated with the
+//! **root-tree qubit set** and **leaf-tree qubit set**.
+//!
+//! The leaf set is the maximum qubit set over which the operators are
+//! identical for every string of the block; all two-qubit gates among these
+//! qubits can cancel between consecutive strings if the synthesized trees
+//! keep them in the leaf section. The root set holds the remaining
+//! non-identity qubits. The IR deliberately does *not* fix how many leaf
+//! trees exist or how trees are shaped — that freedom is the compiler's
+//! tuning spectrum (§IV-B2).
+
+use crate::block::{Hamiltonian, PauliBlock};
+use crate::op::PauliOp;
+use std::fmt;
+
+/// A [`PauliBlock`] analyzed into root / leaf qubit sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TetrisBlock {
+    /// The underlying Pauli block.
+    pub block: PauliBlock,
+    /// Qubits that must form the root tree (operators differ across
+    /// strings). Never empty: a leaf qubit is promoted when every operator
+    /// is common (single-string blocks such as QAOA edges).
+    pub root_set: Vec<usize>,
+    /// Qubits whose operator is identical across all strings — candidates
+    /// for inter-string two-qubit gate cancellation.
+    pub leaf_set: Vec<usize>,
+}
+
+impl TetrisBlock {
+    /// Analyzes a block into root and leaf sets.
+    pub fn analyze(block: PauliBlock) -> Self {
+        let support = block.union_support();
+        let mut root_set = Vec::new();
+        let mut leaf_set = Vec::new();
+        for &q in &support {
+            let first = block.terms[0].string.op(q);
+            let common = !first.is_identity()
+                && block.terms.iter().all(|t| t.string.op(q) == first);
+            if common {
+                leaf_set.push(q);
+            } else {
+                root_set.push(q);
+            }
+        }
+        if root_set.is_empty() {
+            // Degenerate (e.g. single-string QAOA blocks): the Rz must sit
+            // somewhere — promote one common qubit to the root set.
+            let promoted = leaf_set.remove(0);
+            root_set.push(promoted);
+        }
+        TetrisBlock {
+            block,
+            root_set,
+            leaf_set,
+        }
+    }
+
+    /// The common operator on leaf qubit `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is not in the leaf set.
+    pub fn leaf_op(&self, q: usize) -> PauliOp {
+        debug_assert!(self.leaf_set.contains(&q));
+        self.block.terms[0].string.op(q)
+    }
+
+    /// Number of Pauli strings (`#ps` of the paper's score function).
+    pub fn n_strings(&self) -> usize {
+        self.block.len()
+    }
+
+    /// The paper's *active length* (number of non-identity operators).
+    pub fn active_length(&self) -> usize {
+        self.root_set.len() + self.leaf_set.len()
+    }
+
+    /// Leaf-section entries as `(qubit, op)` pairs.
+    pub fn leaf_section(&self) -> Vec<(usize, PauliOp)> {
+        self.leaf_set.iter().map(|&q| (q, self.leaf_op(q))).collect()
+    }
+
+    /// The paper's block similarity (Eq. 1):
+    /// `S(T1,T2) = |C| / (|LT1| + |LT2| − |C|)` where `C` is the set of
+    /// qubits carrying the same leaf operator in both blocks.
+    ///
+    /// Returns 0 when both leaf sets are empty.
+    pub fn similarity(&self, other: &TetrisBlock) -> f64 {
+        let c = self
+            .leaf_section()
+            .into_iter()
+            .filter(|&(q, op)| other.leaf_set.contains(&q) && other.leaf_op(q) == op)
+            .count();
+        let denom = self.leaf_set.len() + other.leaf_set.len() - c;
+        if denom == 0 {
+            0.0
+        } else {
+            c as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for TetrisBlock {
+    /// Prints the block in the paper's Fig. 6(b) style: a qubit-order
+    /// header, full strings with the common section lower-cased for the
+    /// first and last string, and only the non-common section for middle
+    /// strings.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let order: Vec<String> = self
+            .root_set
+            .iter()
+            .chain(&self.leaf_set)
+            .map(|q| q.to_string())
+            .collect();
+        writeln!(f, "{{ {},", order.join(""))?;
+        let last = self.block.terms.len() - 1;
+        for (i, t) in self.block.terms.iter().enumerate() {
+            let mut line = String::new();
+            for &q in &self.root_set {
+                let op = t.string.op(q);
+                line.push(op.to_char());
+            }
+            if i == 0 || i == last {
+                for &q in &self.leaf_set {
+                    line.push(self.leaf_op(q).to_char().to_ascii_lowercase());
+                }
+            }
+            writeln!(f, "  {line},")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A Hamiltonian lowered to Tetris IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TetrisIr {
+    /// Register width.
+    pub n_qubits: usize,
+    /// Analyzed blocks, in the original ansatz order (scheduling reorders
+    /// them later, inside the compiler).
+    pub blocks: Vec<TetrisBlock>,
+    /// Workload name.
+    pub name: String,
+}
+
+impl TetrisIr {
+    /// Lowers a block Hamiltonian into the Tetris IR.
+    pub fn from_hamiltonian(h: &Hamiltonian) -> Self {
+        TetrisIr {
+            n_qubits: h.n_qubits,
+            blocks: h.blocks.iter().cloned().map(TetrisBlock::analyze).collect(),
+            name: h.name.clone(),
+        }
+    }
+
+    /// Total number of Pauli strings.
+    pub fn pauli_string_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.n_strings()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::PauliTerm;
+    use crate::string::PauliString;
+
+    fn block(strings: &[&str]) -> PauliBlock {
+        PauliBlock::new(
+            strings
+                .iter()
+                .map(|s| PauliTerm::new(s.parse::<PauliString>().unwrap(), 1.0))
+                .collect(),
+            0.3,
+            "t",
+        )
+    }
+
+    #[test]
+    fn paper_fig5_block_analysis() {
+        // Fig. 5: {X0Y1zzz, X0X1zzz, Y0X1zzz} → root {0,1}, leaf {2,3,4}.
+        let tb = TetrisBlock::analyze(block(&["XYZZZ", "XXZZZ", "YXZZZ"]));
+        assert_eq!(tb.root_set, vec![0, 1]);
+        assert_eq!(tb.leaf_set, vec![2, 3, 4]);
+        assert_eq!(tb.leaf_op(3), PauliOp::Z);
+        assert_eq!(tb.active_length(), 5);
+    }
+
+    #[test]
+    fn fig3_block_analysis() {
+        // Y0ZZZY4 + X0ZZZX4: roots {0,4} (Y vs X), leaves {1,2,3}.
+        let tb = TetrisBlock::analyze(block(&["YZZZY", "XZZZX"]));
+        assert_eq!(tb.root_set, vec![0, 4]);
+        assert_eq!(tb.leaf_set, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_string_block_promotes_a_root() {
+        let tb = TetrisBlock::analyze(block(&["IZIZI"]));
+        assert_eq!(tb.root_set.len(), 1);
+        assert_eq!(tb.leaf_set.len(), 1);
+        assert_eq!(tb.active_length(), 2);
+    }
+
+    #[test]
+    fn similarity_eq1() {
+        // Fig. 7 block (leaf z on 2..=6) vs §V-B block (leaf z on 2..=5).
+        let a = TetrisBlock::analyze(block(&["XYZZZZZ", "XXZZZZZ", "YXZZZZZ"]));
+        let b = TetrisBlock::analyze(block(&["IYZZZZX", "IXZZZZY", "IYZZZZX"]));
+        // a leafs {2,3,4,5,6}, b leafs {2,3,4,5}: C = {2,3,4,5} → 4/(5+4-4).
+        assert!((a.similarity(&b) - 4.0 / 5.0).abs() < 1e-12);
+        assert!((a.similarity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_matches_fig6_convention() {
+        let tb = TetrisBlock::analyze(block(&["XYZZZ", "XXZZZ", "ZXZZZ", "YXZZZ"]));
+        let text = tb.to_string();
+        assert!(text.contains("XYzzz"), "{text}");
+        assert!(text.contains("YXzzz"), "{text}");
+        // middle strings drop the common section
+        assert!(text.contains("\n  XX,\n"), "{text}");
+    }
+
+    #[test]
+    fn ir_from_hamiltonian() {
+        let h = Hamiltonian::new(
+            5,
+            vec![block(&["XYZZZ", "YXZZZ"]), block(&["IIZZI"])],
+            "toy",
+        );
+        let ir = TetrisIr::from_hamiltonian(&h);
+        assert_eq!(ir.blocks.len(), 2);
+        assert_eq!(ir.pauli_string_count(), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tetris-IR-recursive (paper Fig. 6c — stated there as future work).
+//!
+//! The plain Tetris IR lower-cases only the section common to *all* strings
+//! of a block. The recursive refinement also tracks the common sections of
+//! *consecutive string pairs*: after the block-level leaf section is
+//! removed, neighboring strings still share operators (e.g. the `Xx` of
+//! Fig. 6c), and every such shared operator is a further 2-qubit-gate
+//! cancellation opportunity if the synthesis keeps those qubits in
+//! cancelable (deep) tree positions.
+//!
+//! This module provides the analysis: per-boundary common sections, the
+//! recursive cancellation bound, and the Fig. 6(c)-style rendering. The
+//! compiler already *harvests* most of this opportunity opportunistically
+//! (similarity-ordered strings + chain-biased trees + the commutation-aware
+//! peephole), which the `recursive_bound_brackets_compiler` test
+//! demonstrates.
+
+use crate::block::PauliBlock;
+use crate::ir::TetrisBlock;
+use crate::op::PauliOp;
+use std::fmt;
+
+/// A block annotated with per-boundary common sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecursiveBlock {
+    /// The underlying analyzed block (root/leaf sets).
+    pub tetris: TetrisBlock,
+    /// For each consecutive string pair `(i, i+1)`: the qubits carrying the
+    /// same non-identity operator in both (ascending). Always a superset of
+    /// the block-level leaf section restricted to the pair's support.
+    pub boundary_common: Vec<Vec<(usize, PauliOp)>>,
+}
+
+impl RecursiveBlock {
+    /// Analyzes a block.
+    pub fn analyze(block: PauliBlock) -> Self {
+        let boundary_common = block
+            .terms
+            .windows(2)
+            .map(|w| {
+                (0..block.n_qubits())
+                    .filter_map(|q| {
+                        let a = w[0].string.op(q);
+                        let b = w[1].string.op(q);
+                        (a == b && !a.is_identity()).then_some((q, a))
+                    })
+                    .collect()
+            })
+            .collect();
+        RecursiveBlock {
+            tetris: TetrisBlock::analyze(block),
+            boundary_common,
+        }
+    }
+
+    /// Upper bound on 2-qubit gates cancellable at each boundary under
+    /// chain synthesis: a shared section of `k` qubits allows `k − 1`
+    /// cancelled tree edges, i.e. `2·(k − 1)` CNOTs, when placed contiguously
+    /// at the deep end of both trees.
+    pub fn recursive_cancel_bound(&self) -> usize {
+        self.boundary_common
+            .iter()
+            .map(|c| 2 * c.len().saturating_sub(1))
+            .sum()
+    }
+
+    /// The block-level (non-recursive) bound: only the all-string common
+    /// leaf section cancels, at every boundary.
+    pub fn flat_cancel_bound(&self) -> usize {
+        let leaf = self.tetris.leaf_set.len();
+        let boundaries = self.tetris.block.len().saturating_sub(1);
+        2 * leaf.saturating_sub(1) * boundaries
+    }
+
+    /// Operators shared with the *next* string, per string index (empty for
+    /// the last string) — what Fig. 6(c) renders in lower case.
+    pub fn shared_with_next(&self, string_index: usize) -> &[(usize, PauliOp)] {
+        self.boundary_common
+            .get(string_index)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+impl fmt::Display for RecursiveBlock {
+    /// Fig. 6(c) style: operators shared with the following string are
+    /// lower-cased (recursively, per boundary).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let block = &self.tetris.block;
+        let order: Vec<usize> = self
+            .tetris
+            .root_set
+            .iter()
+            .chain(&self.tetris.leaf_set)
+            .copied()
+            .collect();
+        writeln!(
+            f,
+            "{{ {},",
+            order
+                .iter()
+                .map(|q| q.to_string())
+                .collect::<Vec<_>>()
+                .join("")
+        )?;
+        for (i, t) in block.terms.iter().enumerate() {
+            let shared = self.shared_with_next(i);
+            let mut line = String::new();
+            for &q in &order {
+                let op = t.string.op(q);
+                if op.is_identity() {
+                    continue;
+                }
+                let lower = shared.iter().any(|&(sq, _)| sq == q)
+                    || (i > 0 && self.shared_with_next(i - 1).iter().any(|&(sq, _)| sq == q));
+                line.push(if lower {
+                    op.to_char().to_ascii_lowercase()
+                } else {
+                    op.to_char()
+                });
+            }
+            writeln!(f, "  {line},")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::PauliTerm;
+
+    fn block(strings: &[&str]) -> PauliBlock {
+        PauliBlock::new(
+            strings
+                .iter()
+                .map(|s| PauliTerm::new(s.parse().unwrap(), 1.0))
+                .collect(),
+            0.3,
+            "t",
+        )
+    }
+
+    #[test]
+    fn fig6c_boundaries() {
+        // Fig. 6: XYZZZ, XXZZZ, ZXZZZ, YXZZZ.
+        let rb = RecursiveBlock::analyze(block(&["XYZZZ", "XXZZZ", "ZXZZZ", "YXZZZ"]));
+        // Boundary 0 (XY|XX): shares X@0 and the ZZZ chain.
+        assert_eq!(
+            rb.boundary_common[0],
+            vec![
+                (0, PauliOp::X),
+                (2, PauliOp::Z),
+                (3, PauliOp::Z),
+                (4, PauliOp::Z)
+            ]
+        );
+        // Boundary 1 (XX|ZX): shares X@1 + chain.
+        assert_eq!(rb.boundary_common[1][0], (1, PauliOp::X));
+        // The recursive bound strictly dominates the flat one.
+        assert!(rb.recursive_cancel_bound() > rb.flat_cancel_bound());
+    }
+
+    #[test]
+    fn flat_bound_matches_leaf_section() {
+        // Fig. 3's pair: leaf {1,2,3} → flat = recursive = 2·(3−1)·1.
+        let rb = RecursiveBlock::analyze(block(&["YZZZY", "XZZZX"]));
+        assert_eq!(rb.flat_cancel_bound(), 4);
+        assert_eq!(rb.recursive_cancel_bound(), 4);
+    }
+
+    #[test]
+    fn display_lowercases_shared_sections() {
+        let rb = RecursiveBlock::analyze(block(&["XYZZZ", "XXZZZ", "ZXZZZ", "YXZZZ"]));
+        let text = rb.to_string();
+        // First string: X shared with next → x; Y unique → Y; chain → zzz.
+        assert!(text.contains("xYzzz"), "{text}");
+        // Last string: only inherits the previous boundary's sharing.
+        assert!(text.contains("Yxzzz"), "{text}");
+    }
+
+    #[test]
+    fn single_string_block_has_no_boundaries() {
+        let rb = RecursiveBlock::analyze(block(&["ZZIII"]));
+        assert!(rb.boundary_common.is_empty());
+        assert_eq!(rb.recursive_cancel_bound(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The six molecule benchmarks of the paper's Table I.
+//!
+//! The paper constructs these Hamiltonians with PySCF; this reproduction
+//! derives them from the UCCSD excitation structure alone, with the
+//! `(spin orbitals, electrons)` pairs below. These pairs reproduce the
+//! paper's Pauli-string counts **exactly** (640 / 1488 / 4240 / 8400 /
+//! 17280 / 20944) — see DESIGN.md "Substitutions" for why amplitude values
+//! are irrelevant to the compilation problem.
+
+use crate::block::Hamiltonian;
+use crate::encoder::Encoding;
+use crate::uccsd::UccsdAnsatz;
+use std::fmt;
+
+/// One of the paper's molecule benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Molecule {
+    /// Lithium hydride — 12 qubits, 640 Pauli strings.
+    LiH,
+    /// Beryllium hydride — 14 qubits, 1488 Pauli strings.
+    BeH2,
+    /// Methane — 18 qubits, 4240 Pauli strings.
+    CH4,
+    /// Magnesium hydride — 22 qubits, 8400 Pauli strings.
+    MgH2,
+    /// Lithium chloride — 28 qubits, 17280 Pauli strings.
+    LiCl,
+    /// Carbon dioxide — 30 qubits, 20944 Pauli strings.
+    CO2,
+}
+
+impl Molecule {
+    /// All six benchmarks in the paper's (size-ascending) order.
+    pub const ALL: [Molecule; 6] = [
+        Molecule::LiH,
+        Molecule::BeH2,
+        Molecule::CH4,
+        Molecule::MgH2,
+        Molecule::LiCl,
+        Molecule::CO2,
+    ];
+
+    /// The four smallest molecules (used by Figs. 14/15 where the large two
+    /// exceed the baselines' compile budget).
+    pub const SMALL: [Molecule; 4] = [
+        Molecule::LiH,
+        Molecule::BeH2,
+        Molecule::CH4,
+        Molecule::MgH2,
+    ];
+
+    /// Benchmark name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Molecule::LiH => "LiH",
+            Molecule::BeH2 => "BeH2",
+            Molecule::CH4 => "CH4",
+            Molecule::MgH2 => "MgH2",
+            Molecule::LiCl => "LiCl",
+            Molecule::CO2 => "CO2",
+        }
+    }
+
+    /// Qubit (= spin orbital) count (Table I).
+    pub fn n_qubits(self) -> usize {
+        match self {
+            Molecule::LiH => 12,
+            Molecule::BeH2 => 14,
+            Molecule::CH4 => 18,
+            Molecule::MgH2 => 22,
+            Molecule::LiCl => 28,
+            Molecule::CO2 => 30,
+        }
+    }
+
+    /// Active-space electron count. The heavier molecules use a frozen-core
+    /// active space of 8 electrons, which is what reproduces the paper's
+    /// string counts.
+    pub fn n_electrons(self) -> usize {
+        match self {
+            Molecule::LiH => 4,
+            Molecule::BeH2 => 6,
+            _ => 8,
+        }
+    }
+
+    /// The UCCSD ansatz for this molecule.
+    pub fn ansatz(self) -> UccsdAnsatz {
+        UccsdAnsatz::new(self.n_qubits(), self.n_electrons())
+    }
+
+    /// The paper's Table I Pauli-string count.
+    pub fn expected_pauli_strings(self) -> usize {
+        match self {
+            Molecule::LiH => 640,
+            Molecule::BeH2 => 1488,
+            Molecule::CH4 => 4240,
+            Molecule::MgH2 => 8400,
+            Molecule::LiCl => 17280,
+            Molecule::CO2 => 20944,
+        }
+    }
+
+    /// Builds the UCCSD Hamiltonian under `encoding` with a deterministic
+    /// per-molecule seed.
+    pub fn uccsd_hamiltonian(self, encoding: Encoding) -> Hamiltonian {
+        let seed = 0x7e7215 ^ (self.n_qubits() as u64);
+        self.ansatz().hamiltonian(encoding, seed, self.name())
+    }
+}
+
+impl fmt::Display for Molecule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_molecules_match_table_1_string_counts() {
+        for m in Molecule::ALL {
+            assert_eq!(
+                m.ansatz().pauli_string_count(),
+                m.expected_pauli_strings(),
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn hamiltonians_have_declared_width() {
+        // Only the small molecules here: building all six encodes > 50k
+        // strings and belongs in the benchmark harness, not unit tests.
+        for m in [Molecule::LiH, Molecule::BeH2] {
+            for enc in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
+                let h = m.uccsd_hamiltonian(enc);
+                assert_eq!(h.n_qubits, m.n_qubits());
+                assert_eq!(h.pauli_string_count(), m.expected_pauli_strings());
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Single-qubit Pauli operators and their phase-tracked products.
+
+use crate::phase::Phase;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// The discriminants are chosen as the symplectic `(x, z)` bit pair packed as
+/// `x | z << 1`, which makes the group product a couple of XORs.
+///
+/// ```
+/// use tetris_pauli::{PauliOp, Phase};
+/// let (phase, op) = PauliOp::X.mul(PauliOp::Y);
+/// assert_eq!(op, PauliOp::Z);
+/// assert_eq!(phase, Phase::I); // X·Y = iZ
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum PauliOp {
+    /// Identity.
+    #[default]
+    I = 0b00,
+    /// Pauli-X.
+    X = 0b01,
+    /// Pauli-Z.
+    Z = 0b10,
+    /// Pauli-Y.
+    Y = 0b11,
+}
+
+impl PauliOp {
+    /// All four operators, in `I, X, Y, Z` display order.
+    pub const ALL: [PauliOp; 4] = [PauliOp::I, PauliOp::X, PauliOp::Y, PauliOp::Z];
+
+    /// The X component of the symplectic representation.
+    #[inline]
+    pub fn x_bit(self) -> bool {
+        (self as u8) & 0b01 != 0
+    }
+
+    /// The Z component of the symplectic representation.
+    #[inline]
+    pub fn z_bit(self) -> bool {
+        (self as u8) & 0b10 != 0
+    }
+
+    /// Reassembles an operator from its symplectic bits.
+    #[inline]
+    pub fn from_bits(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => PauliOp::I,
+            (true, false) => PauliOp::X,
+            (false, true) => PauliOp::Z,
+            (true, true) => PauliOp::Y,
+        }
+    }
+
+    /// Whether this is the identity.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self == PauliOp::I
+    }
+
+    /// Product `self · other = i^k · result`, returning `(i^k, result)`.
+    ///
+    /// The phase exponent follows the Levi-Civita convention:
+    /// `X·Y = iZ`, `Y·Z = iX`, `Z·X = iY` (and conjugates for the swapped
+    /// order).
+    pub fn mul(self, other: PauliOp) -> (Phase, PauliOp) {
+        let result = PauliOp::from_bits(self.x_bit() ^ other.x_bit(), self.z_bit() ^ other.z_bit());
+        let phase = match (self, other) {
+            (PauliOp::X, PauliOp::Y) | (PauliOp::Y, PauliOp::Z) | (PauliOp::Z, PauliOp::X) => {
+                Phase::I
+            }
+            (PauliOp::Y, PauliOp::X) | (PauliOp::Z, PauliOp::Y) | (PauliOp::X, PauliOp::Z) => {
+                Phase::MinusI
+            }
+            _ => Phase::One,
+        };
+        (phase, result)
+    }
+
+    /// Whether two single-qubit Paulis commute.
+    ///
+    /// They commute iff either is the identity or they are equal.
+    #[inline]
+    pub fn commutes_with(self, other: PauliOp) -> bool {
+        self.is_identity() || other.is_identity() || self == other
+    }
+
+    /// Parses an operator from its one-letter name. Lower-case letters are
+    /// accepted because the Tetris IR prints the common (cancellable) section
+    /// of a block in lower case (paper Fig. 6).
+    pub fn from_char(c: char) -> Option<PauliOp> {
+        match c {
+            'I' | 'i' => Some(PauliOp::I),
+            'X' | 'x' => Some(PauliOp::X),
+            'Y' | 'y' => Some(PauliOp::Y),
+            'Z' | 'z' => Some(PauliOp::Z),
+            _ => None,
+        }
+    }
+
+    /// One-letter name of this operator.
+    pub fn to_char(self) -> char {
+        match self {
+            PauliOp::I => 'I',
+            PauliOp::X => 'X',
+            PauliOp::Y => 'Y',
+            PauliOp::Z => 'Z',
+        }
+    }
+}
+
+impl fmt::Display for PauliOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_table_is_the_pauli_group() {
+        use PauliOp::*;
+        // (a, b, phase, result)
+        let expect = [
+            (I, I, Phase::One, I),
+            (I, X, Phase::One, X),
+            (X, I, Phase::One, X),
+            (X, X, Phase::One, I),
+            (Y, Y, Phase::One, I),
+            (Z, Z, Phase::One, I),
+            (X, Y, Phase::I, Z),
+            (Y, X, Phase::MinusI, Z),
+            (Y, Z, Phase::I, X),
+            (Z, Y, Phase::MinusI, X),
+            (Z, X, Phase::I, Y),
+            (X, Z, Phase::MinusI, Y),
+        ];
+        for (a, b, ph, r) in expect {
+            assert_eq!(a.mul(b), (ph, r), "{a}·{b}");
+        }
+    }
+
+    #[test]
+    fn products_are_associative() {
+        for a in PauliOp::ALL {
+            for b in PauliOp::ALL {
+                for c in PauliOp::ALL {
+                    let (p1, ab) = a.mul(b);
+                    let (p2, ab_c) = ab.mul(c);
+                    let left = (p1 * p2, ab_c);
+                    let (q1, bc) = b.mul(c);
+                    let (q2, a_bc) = a.mul(bc);
+                    let right = (q1 * q2, a_bc);
+                    assert_eq!(left, right, "({a}·{b})·{c} vs {a}·({b}·{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_matches_product_order() {
+        for a in PauliOp::ALL {
+            for b in PauliOp::ALL {
+                let (pab, rab) = a.mul(b);
+                let (pba, rba) = b.mul(a);
+                assert_eq!(rab, rba);
+                assert_eq!(a.commutes_with(b), pab == pba);
+            }
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for op in PauliOp::ALL {
+            assert_eq!(PauliOp::from_char(op.to_char()), Some(op));
+            assert_eq!(
+                PauliOp::from_char(op.to_char().to_ascii_lowercase()),
+                Some(op)
+            );
+        }
+        assert_eq!(PauliOp::from_char('Q'), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! The cyclic phase group `{1, i, -1, -i}` attached to Pauli products.
+
+use crate::complex::C64;
+use std::fmt;
+use std::ops::Mul;
+
+/// A power of the imaginary unit, `i^k` with `k ∈ {0,1,2,3}`.
+///
+/// ```
+/// use tetris_pauli::Phase;
+/// assert_eq!(Phase::I * Phase::I, Phase::MinusOne);
+/// assert_eq!(Phase::MinusI.conj(), Phase::I);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum Phase {
+    /// `i^0 = 1`
+    #[default]
+    One = 0,
+    /// `i^1 = i`
+    I = 1,
+    /// `i^2 = -1`
+    MinusOne = 2,
+    /// `i^3 = -i`
+    MinusI = 3,
+}
+
+impl Phase {
+    /// Builds a phase from an arbitrary exponent of `i` (reduced mod 4).
+    #[inline]
+    pub fn from_exponent(k: i64) -> Self {
+        match k.rem_euclid(4) {
+            0 => Phase::One,
+            1 => Phase::I,
+            2 => Phase::MinusOne,
+            _ => Phase::MinusI,
+        }
+    }
+
+    /// The exponent `k` such that this phase is `i^k`.
+    #[inline]
+    pub fn exponent(self) -> u8 {
+        self as u8
+    }
+
+    /// Complex conjugate (`i ↔ -i`).
+    #[inline]
+    pub fn conj(self) -> Self {
+        Phase::from_exponent(-(self as i64))
+    }
+
+    /// This phase as a complex number.
+    pub fn to_c64(self) -> C64 {
+        match self {
+            Phase::One => C64::new(1.0, 0.0),
+            Phase::I => C64::new(0.0, 1.0),
+            Phase::MinusOne => C64::new(-1.0, 0.0),
+            Phase::MinusI => C64::new(0.0, -1.0),
+        }
+    }
+
+    /// Whether the phase is real (`±1`).
+    #[inline]
+    pub fn is_real(self) -> bool {
+        matches!(self, Phase::One | Phase::MinusOne)
+    }
+}
+
+impl Mul for Phase {
+    type Output = Phase;
+    #[inline]
+    fn mul(self, rhs: Phase) -> Phase {
+        Phase::from_exponent(self as i64 + rhs as i64)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::One => "+1",
+            Phase::I => "+i",
+            Phase::MinusOne => "-1",
+            Phase::MinusI => "-i",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_law() {
+        let all = [Phase::One, Phase::I, Phase::MinusOne, Phase::MinusI];
+        for a in all {
+            for b in all {
+                assert_eq!(
+                    (a * b).exponent(),
+                    (a.exponent() + b.exponent()) % 4,
+                    "{a}·{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conjugation_inverts() {
+        for k in 0..4 {
+            let p = Phase::from_exponent(k);
+            assert_eq!(p * p.conj(), Phase::One);
+        }
+    }
+
+    #[test]
+    fn matches_complex_embedding() {
+        let all = [Phase::One, Phase::I, Phase::MinusOne, Phase::MinusI];
+        for a in all {
+            for b in all {
+                let lhs = (a * b).to_c64();
+                let rhs = a.to_c64() * b.to_c64();
+                assert!((lhs - rhs).norm() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! QAOA MaxCut workloads: random and 3-regular graphs (paper §VI-F).
+//!
+//! A MaxCut cost Hamiltonian contributes one `Z_u Z_v` Pauli string per
+//! edge; each string is its own block (there is no shared rotation factor
+//! between edges), which is exactly the low-similarity regime that motivates
+//! the paper's fast-bridging optimization.
+
+use crate::block::{Hamiltonian, PauliBlock, PauliTerm};
+use crate::op::PauliOp;
+use crate::string::PauliString;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected simple graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge list with `u < v`, sorted, no duplicates.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list (normalizing order and removing
+    /// duplicates / self loops).
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut es: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .map(|(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        assert!(es.iter().all(|&(_, v)| v < n), "edge endpoint out of range");
+        Graph { n, edges: es }
+    }
+
+    /// Erdős–Rényi `G(n, m)`: `m` distinct edges sampled uniformly.
+    ///
+    /// # Panics
+    /// Panics if `m` exceeds the number of possible edges.
+    pub fn random_gnm(n: usize, m: usize, seed: u64) -> Self {
+        assert!(m <= n * (n - 1) / 2, "too many edges requested");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = std::collections::BTreeSet::new();
+        while edges.len() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        Graph {
+            n,
+            edges: edges.into_iter().collect(),
+        }
+    }
+
+    /// A random `d`-regular simple graph via the configuration model with
+    /// rejection (retries until simple).
+    ///
+    /// # Panics
+    /// Panics if `n·d` is odd or `d ≥ n`.
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
+        assert!(n * d % 2 == 0, "n·d must be even");
+        assert!(d < n, "degree must be below n");
+        let mut rng = StdRng::seed_from_u64(seed);
+        'outer: loop {
+            // Stubs: each vertex appears d times; random perfect matching.
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+            // Fisher-Yates shuffle.
+            for i in (1..stubs.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                stubs.swap(i, j);
+            }
+            let mut edges = std::collections::BTreeSet::new();
+            for pair in stubs.chunks(2) {
+                let (u, v) = (pair[0], pair[1]);
+                if u == v || !edges.insert((u.min(v), u.max(v))) {
+                    continue 'outer; // self loop or multi-edge: reject
+                }
+            }
+            return Graph {
+                n,
+                edges: edges.into_iter().collect(),
+            };
+        }
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
+    }
+}
+
+/// The MaxCut cost layer `Σ_(u,v)∈E  Z_u Z_v` as one single-string block per
+/// edge, with unit weights and a shared γ angle.
+pub fn maxcut_hamiltonian(graph: &Graph, name: &str) -> Hamiltonian {
+    let blocks = graph
+        .edges
+        .iter()
+        .map(|&(u, v)| {
+            let s = PauliString::from_sparse(graph.n, &[(u, PauliOp::Z), (v, PauliOp::Z)]);
+            PauliBlock::new(
+                vec![PauliTerm::new(s, 1.0)],
+                0.7, // γ — irrelevant to circuit structure
+                format!("e({u},{v})"),
+            )
+        })
+        .collect();
+    Hamiltonian::new(graph.n, blocks, name.to_string())
+}
+
+/// A full `p`-layer QAOA ansatz: for each layer `l`, the cost blocks
+/// `exp(-i γ_l Z_u Z_v / 2)` per edge followed by the mixer blocks
+/// `exp(-i β_l X_q / 2)` per vertex. Every block stays 2-local, so the
+/// Tetris compiler routes the whole ansatz through its QAOA bridging pass.
+///
+/// # Panics
+/// Panics unless `gammas` and `betas` both have length `p ≥ 1`.
+pub fn qaoa_ansatz(graph: &Graph, gammas: &[f64], betas: &[f64], name: &str) -> Hamiltonian {
+    assert!(!gammas.is_empty(), "at least one layer");
+    assert_eq!(gammas.len(), betas.len(), "γ/β length mismatch");
+    let mut blocks = Vec::new();
+    for (layer, (&gamma, &beta)) in gammas.iter().zip(betas).enumerate() {
+        for &(u, v) in &graph.edges {
+            let s = PauliString::from_sparse(graph.n, &[(u, PauliOp::Z), (v, PauliOp::Z)]);
+            blocks.push(PauliBlock::new(
+                vec![PauliTerm::new(s, 1.0)],
+                gamma,
+                format!("e({u},{v})@l{layer}"),
+            ));
+        }
+        for q in 0..graph.n {
+            let s = PauliString::from_sparse(graph.n, &[(q, PauliOp::X)]);
+            blocks.push(PauliBlock::new(
+                vec![PauliTerm::new(s, 1.0)],
+                2.0 * beta,
+                format!("mix({q})@l{layer}"),
+            ));
+        }
+    }
+    Hamiltonian::new(graph.n, blocks, name.to_string())
+}
+
+/// The paper's QAOA benchmark set (Table I): `Rand-16/18/20` with
+/// `m = 25/31/40` edges and `REG3-16/18/20` 3-regular graphs.
+pub fn paper_benchmarks(seed: u64) -> Vec<Hamiltonian> {
+    let mut out = Vec::new();
+    for (n, m) in [(16, 25), (18, 31), (20, 40)] {
+        let g = Graph::random_gnm(n, m, seed ^ (n as u64));
+        out.push(maxcut_hamiltonian(&g, &format!("Rand-{n}")));
+    }
+    for n in [16, 18, 20] {
+        let g = Graph::random_regular(n, 3, seed ^ 0x5e9 ^ (n as u64));
+        out.push(maxcut_hamiltonian(&g, &format!("REG3-{n}")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = Graph::random_gnm(16, 25, 1);
+        assert_eq!(g.edges.len(), 25);
+        assert!(g.edges.iter().all(|&(u, v)| u < v && v < 16));
+    }
+
+    #[test]
+    fn regular_graph_degrees() {
+        let g = Graph::random_regular(16, 3, 5);
+        assert_eq!(g.edges.len(), 24); // n·d/2 (Table I REG3-16 #Pauli)
+        for v in 0..16 {
+            assert_eq!(g.degree(v), 3, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn maxcut_blocks_are_single_zz_strings() {
+        let g = Graph::random_gnm(10, 12, 3);
+        let h = maxcut_hamiltonian(&g, "test");
+        assert_eq!(h.blocks.len(), 12);
+        for b in &h.blocks {
+            assert_eq!(b.len(), 1);
+            assert_eq!(b.terms[0].string.weight(), 2);
+            for q in b.terms[0].string.support() {
+                assert_eq!(b.terms[0].string.op(q), PauliOp::Z);
+            }
+        }
+        // Table I: #CNOT = 2 per edge.
+        assert_eq!(h.naive_cnot_count(), 24);
+    }
+
+    #[test]
+    fn benchmark_set_matches_table_1() {
+        let hams = paper_benchmarks(7);
+        let counts: Vec<usize> = hams.iter().map(|h| h.pauli_string_count()).collect();
+        assert_eq!(counts, vec![25, 31, 40, 24, 27, 30]);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(Graph::random_gnm(12, 9, 4), Graph::random_gnm(12, 9, 4));
+        assert_eq!(
+            Graph::random_regular(12, 3, 4),
+            Graph::random_regular(12, 3, 4)
+        );
+    }
+
+    #[test]
+    fn p_layer_ansatz_structure() {
+        let g = Graph::random_regular(8, 3, 2);
+        let h = qaoa_ansatz(&g, &[0.4, 0.7], &[0.9, 0.3], "p2");
+        // Per layer: 12 edges + 8 mixers; 2 layers.
+        assert_eq!(h.blocks.len(), 2 * (12 + 8));
+        // Mixer blocks are weight-1 X strings with angle 2β.
+        let mix = h
+            .blocks
+            .iter()
+            .find(|b| b.label.starts_with("mix"))
+            .unwrap();
+        assert_eq!(mix.terms[0].string.weight(), 1);
+        assert!((mix.angle - 1.8).abs() < 1e-12);
+        // Everything remains 2-local single-string.
+        assert!(h.blocks.iter().all(|b| b.len() == 1 && b.active_length() <= 2));
+    }
+}

@@ -1,0 +1,286 @@
+//! Dense Pauli strings (tensor products of single-qubit Paulis).
+
+use crate::op::PauliOp;
+use crate::phase::Phase;
+use std::fmt;
+use std::str::FromStr;
+
+/// A tensor product of single-qubit Pauli operators, e.g. `XXYZI`.
+///
+/// Index `q` of the string is the operator applied to qubit `q` — the same
+/// positional correspondence the paper uses in Fig. 1.
+///
+/// ```
+/// use tetris_pauli::{PauliString, PauliOp};
+/// let p: PauliString = "XXYZI".parse().unwrap();
+/// assert_eq!(p.n_qubits(), 5);
+/// assert_eq!(p.weight(), 4);                 // "active length"
+/// assert_eq!(p.op(2), PauliOp::Y);
+/// assert_eq!(p.support().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PauliString {
+    ops: Vec<PauliOp>,
+}
+
+impl PauliString {
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            ops: vec![PauliOp::I; n],
+        }
+    }
+
+    /// Builds a string from explicit operators.
+    pub fn new(ops: Vec<PauliOp>) -> Self {
+        PauliString { ops }
+    }
+
+    /// Builds an `n`-qubit string that is identity except at the given sites.
+    ///
+    /// # Panics
+    /// Panics if a site index is out of range.
+    pub fn from_sparse(n: usize, sites: &[(usize, PauliOp)]) -> Self {
+        let mut s = PauliString::identity(n);
+        for &(q, op) in sites {
+            assert!(q < n, "site {q} out of range for {n} qubits");
+            s.ops[q] = op;
+        }
+        s
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Operator on qubit `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn op(&self, q: usize) -> PauliOp {
+        self.ops[q]
+    }
+
+    /// Replaces the operator on qubit `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn set_op(&mut self, q: usize, op: PauliOp) {
+        self.ops[q] = op;
+    }
+
+    /// All operators, in qubit order.
+    #[inline]
+    pub fn ops(&self) -> &[PauliOp] {
+        &self.ops
+    }
+
+    /// Number of non-identity sites — the paper's *active length*.
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|o| !o.is_identity()).count()
+    }
+
+    /// Whether every site is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.ops.iter().all(|o| o.is_identity())
+    }
+
+    /// Iterator over the non-identity qubit indices, ascending.
+    pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.is_identity())
+            .map(|(q, _)| q)
+    }
+
+    /// Non-identity sites as `(qubit, op)` pairs, ascending by qubit.
+    pub fn sparse(&self) -> Vec<(usize, PauliOp)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.is_identity())
+            .map(|(q, &o)| (q, o))
+            .collect()
+    }
+
+    /// Phase-tracked product: `self · other = phase · result`.
+    ///
+    /// # Panics
+    /// Panics if the strings act on different qubit counts.
+    pub fn mul(&self, other: &PauliString) -> (Phase, PauliString) {
+        assert_eq!(
+            self.n_qubits(),
+            other.n_qubits(),
+            "pauli string length mismatch"
+        );
+        let mut phase = Phase::One;
+        let ops = self
+            .ops
+            .iter()
+            .zip(&other.ops)
+            .map(|(&a, &b)| {
+                let (p, r) = a.mul(b);
+                phase = phase * p;
+                r
+            })
+            .collect();
+        (phase, PauliString { ops })
+    }
+
+    /// Whether two strings commute as operators.
+    ///
+    /// Strings commute iff they anticommute on an even number of sites.
+    ///
+    /// # Panics
+    /// Panics if the strings act on different qubit counts.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(
+            self.n_qubits(),
+            other.n_qubits(),
+            "pauli string length mismatch"
+        );
+        let anti = self
+            .ops
+            .iter()
+            .zip(&other.ops)
+            .filter(|(&a, &b)| !a.commutes_with(b))
+            .count();
+        anti % 2 == 0
+    }
+
+    /// Number of sites where both strings carry the same non-identity
+    /// operator — the raw ingredient of the paper's block-similarity metric.
+    pub fn common_weight(&self, other: &PauliString) -> usize {
+        self.ops
+            .iter()
+            .zip(&other.ops)
+            .filter(|(&a, &b)| !a.is_identity() && a == b)
+            .count()
+    }
+
+    /// Extends the string with identities up to `n` qubits (no-op if already
+    /// at least that long).
+    pub fn padded_to(&self, n: usize) -> PauliString {
+        let mut ops = self.ops.clone();
+        while ops.len() < n {
+            ops.push(PauliOp::I);
+        }
+        PauliString { ops }
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for op in &self.ops {
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`PauliString`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliStringError {
+    offending: char,
+}
+
+impl fmt::Display for ParsePauliStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid pauli character `{}` (expected I, X, Y or Z)",
+            self.offending
+        )
+    }
+}
+
+impl std::error::Error for ParsePauliStringError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliStringError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let ops = s
+            .chars()
+            .map(|c| PauliOp::from_char(c).ok_or(ParsePauliStringError { offending: c }))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PauliString { ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["XXYZI", "IIII", "ZZ", "Y"] {
+            assert_eq!(ps(s).to_string(), s);
+        }
+        assert!("XQ".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn weight_and_support() {
+        let p = ps("XIZIY");
+        assert_eq!(p.weight(), 3);
+        assert_eq!(p.support().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert!(!p.is_identity());
+        assert!(ps("III").is_identity());
+    }
+
+    #[test]
+    fn product_of_equal_strings_is_identity() {
+        let p = ps("XYZXYZ");
+        let (phase, r) = p.mul(&p);
+        assert_eq!(phase, Phase::One);
+        assert!(r.is_identity());
+    }
+
+    #[test]
+    fn product_tracks_phase() {
+        // (X⊗X)·(Y⊗I) = (iZ)⊗X = i (Z⊗X)
+        let (phase, r) = ps("XX").mul(&ps("YI"));
+        assert_eq!(phase, Phase::I);
+        assert_eq!(r, ps("ZX"));
+    }
+
+    #[test]
+    fn commutation_via_anticommuting_site_parity() {
+        assert!(ps("XX").commutes_with(&ps("YY"))); // 2 anticommuting sites
+        assert!(!ps("XI").commutes_with(&ps("YI"))); // 1 anticommuting site
+        assert!(ps("XYZ").commutes_with(&ps("XYZ")));
+        assert!(ps("ZZI").commutes_with(&ps("IZZ")));
+    }
+
+    #[test]
+    fn paper_example_strings_commute() {
+        // The two strings of Fig. 3 commute (they form a single block).
+        let a = ps("YZZZY");
+        let b = ps("XZZZX");
+        assert!(a.commutes_with(&b));
+        assert_eq!(a.common_weight(&b), 3); // the shared Z-chain
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let p = PauliString::from_sparse(6, &[(1, PauliOp::X), (4, PauliOp::Z)]);
+        assert_eq!(p.to_string(), "IXIIZI");
+        assert_eq!(p.sparse(), vec![(1, PauliOp::X), (4, PauliOp::Z)]);
+    }
+
+    #[test]
+    fn padding() {
+        assert_eq!(ps("XY").padded_to(4).to_string(), "XYII");
+        assert_eq!(ps("XY").padded_to(1).to_string(), "XY");
+    }
+}

@@ -1,0 +1,116 @@
+//! Trotterization: repeating an ansatz / evolution operator over multiple
+//! time steps (paper §I: the matrix exponential `e^{-i·c·H}` is lowered to
+//! a product formula before synthesis).
+
+use crate::block::{Hamiltonian, PauliBlock};
+
+/// First-order Trotter–Suzuki expansion: the block list is repeated
+/// `steps` times with each block's angle divided by `steps`.
+///
+/// The compiler's block scheduler is free to reorder blocks *within* the
+/// whole list; for chemistry ansätze all strings of a block commute, and
+/// reordering across Trotter steps changes the product only at the same
+/// order as the Trotter error itself (the standard argument used by
+/// Paulihedral and Tetris).
+///
+/// # Panics
+/// Panics if `steps == 0`.
+pub fn trotterize(h: &Hamiltonian, steps: usize) -> Hamiltonian {
+    assert!(steps > 0, "at least one Trotter step");
+    let mut blocks = Vec::with_capacity(h.blocks.len() * steps);
+    for step in 0..steps {
+        for b in &h.blocks {
+            blocks.push(PauliBlock::new(
+                b.terms.clone(),
+                b.angle / steps as f64,
+                format!("{}@t{step}", b.label),
+            ));
+        }
+    }
+    Hamiltonian::new(h.n_qubits, blocks, format!("{}-x{steps}", h.name))
+}
+
+/// Second-order (symmetric) Trotter–Suzuki expansion: each step applies the
+/// blocks forward at half angle and then backward at half angle.
+///
+/// # Panics
+/// Panics if `steps == 0`.
+pub fn trotterize_second_order(h: &Hamiltonian, steps: usize) -> Hamiltonian {
+    assert!(steps > 0, "at least one Trotter step");
+    let mut blocks = Vec::with_capacity(h.blocks.len() * steps * 2);
+    for step in 0..steps {
+        for b in &h.blocks {
+            blocks.push(PauliBlock::new(
+                b.terms.clone(),
+                b.angle / (2.0 * steps as f64),
+                format!("{}@t{step}f", b.label),
+            ));
+        }
+        for b in h.blocks.iter().rev() {
+            blocks.push(PauliBlock::new(
+                b.terms.clone(),
+                b.angle / (2.0 * steps as f64),
+                format!("{}@t{step}b", b.label),
+            ));
+        }
+    }
+    Hamiltonian::new(h.n_qubits, blocks, format!("{}-s2x{steps}", h.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::PauliTerm;
+
+    fn toy() -> Hamiltonian {
+        Hamiltonian::new(
+            3,
+            vec![
+                PauliBlock::new(
+                    vec![PauliTerm::new("XZY".parse().unwrap(), 1.0)],
+                    0.8,
+                    "a",
+                ),
+                PauliBlock::new(
+                    vec![PauliTerm::new("ZZI".parse().unwrap(), 1.0)],
+                    0.4,
+                    "b",
+                ),
+            ],
+            "toy",
+        )
+    }
+
+    #[test]
+    fn first_order_repeats_and_rescales() {
+        let t = trotterize(&toy(), 4);
+        assert_eq!(t.blocks.len(), 8);
+        assert!((t.blocks[0].angle - 0.2).abs() < 1e-12);
+        // Total angle per original block is conserved.
+        let total: f64 = t
+            .blocks
+            .iter()
+            .filter(|b| b.label.starts_with('a'))
+            .map(|b| b.angle)
+            .sum();
+        assert!((total - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_order_palindrome() {
+        let t = trotterize_second_order(&toy(), 1);
+        assert_eq!(t.blocks.len(), 4);
+        // Forward a, b then backward b, a.
+        assert!(t.blocks[0].label.starts_with('a'));
+        assert!(t.blocks[1].label.starts_with('b'));
+        assert!(t.blocks[2].label.starts_with('b'));
+        assert!(t.blocks[3].label.starts_with('a'));
+        assert!((t.blocks[0].angle - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_steps_panics() {
+        let _ = trotterize(&toy(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # tetris-router
+//!
+//! A SABRE-style SWAP router: maps a *logical* circuit onto a coupling graph
+//! by inserting SWAPs chosen with a front-layer + lookahead distance
+//! heuristic. In the paper's evaluation this work is done by Qiskit
+//! transpile for the hardware-agnostic baselines (PCOAST, max-cancel,
+//! T|Ket⟩-style); Tetris itself performs routing during synthesis and never
+//! calls this.
+//!
+//! ```
+//! use tetris_circuit::{Circuit, Gate};
+//! use tetris_topology::{CouplingGraph, Layout};
+//! use tetris_router::route;
+//!
+//! let mut logical = Circuit::new(3);
+//! logical.push(Gate::Cnot(0, 2)); // not adjacent on a line
+//! let graph = CouplingGraph::line(3);
+//! let routed = route(&logical, &graph, Layout::trivial(3, 3), &Default::default());
+//! assert!(routed.circuit.is_hardware_compliant(&graph));
+//! assert!(routed.circuit.swap_count() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod sabre;
+
+pub use sabre::{route, RoutedCircuit, RouterConfig};

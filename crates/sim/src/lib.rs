@@ -1,0 +1,28 @@
+//! # tetris-sim
+//!
+//! Simulation substrate: a dense statevector simulator (the correctness
+//! oracle for every compiler in the workspace — compiled circuits are
+//! checked against exact `exp(-i θ/2 P)` products), and the
+//! depolarizing-noise fidelity model of the paper's §VI-G.
+//!
+//! ```
+//! use tetris_circuit::{Circuit, Gate};
+//! use tetris_sim::Statevector;
+//!
+//! // H then CNOT prepares a Bell state.
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::H(0));
+//! c.push(Gate::Cnot(0, 1));
+//! let mut sv = Statevector::zero_state(2);
+//! sv.apply_circuit(&c);
+//! assert!((sv.probability_of(0b00) - 0.5).abs() < 1e-12);
+//! assert!((sv.probability_of(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod noise;
+pub mod statevector;
+
+pub use noise::{FidelityEstimate, NoiseModel};
+pub use statevector::Statevector;

@@ -1,0 +1,447 @@
+//! Dense statevector simulation (little-endian: bit `q` of a basis index is
+//! qubit `q`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tetris_circuit::{Circuit, Gate};
+use tetris_pauli::{C64, PauliOp, PauliString};
+
+/// A dense `2^n` statevector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl Statevector {
+    /// `|0…0>` on `n` qubits.
+    ///
+    /// # Panics
+    /// Panics for `n > 26` (amplitude vector would exceed a GiB).
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n <= 26, "statevector too large ({n} qubits)");
+        let mut amps = vec![C64::zero(); 1 << n];
+        amps[0] = C64::one();
+        Statevector { n, amps }
+    }
+
+    /// A Haar-ish random state (normalized complex Gaussian-ish amplitudes
+    /// from a seeded RNG) — used by equivalence property tests.
+    pub fn random_state(n: usize, seed: u64) -> Self {
+        assert!(n <= 26, "statevector too large ({n} qubits)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut amps: Vec<C64> = (0..1usize << n)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        for a in &mut amps {
+            *a = a.scale(1.0 / norm);
+        }
+        Statevector { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitudes (little-endian basis order).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// `|<self|other>|²` fidelity between two pure states.
+    ///
+    /// # Panics
+    /// Panics on size mismatch.
+    pub fn overlap(&self, other: &Statevector) -> f64 {
+        assert_eq!(self.n, other.n, "statevector size mismatch");
+        let mut acc = C64::zero();
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc.norm_sqr()
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability_of(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Probability of the all-zeros outcome — the paper's fidelity
+    /// observable for randomized-benchmarking-style runs.
+    pub fn probability_all_zeros(&self) -> f64 {
+        self.probability_of(0)
+    }
+
+    /// Squared norm (should stay 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies a single gate.
+    ///
+    /// # Panics
+    /// Panics on `Measure` (non-deterministic) and on `Reset` of a qubit
+    /// that is not already `|0>` within `1e-9` — the workspace only resets
+    /// ancillas that provably returned to `|0>` (fast bridging), so a hot
+    /// reset indicates a compiler bug.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::H(q) => self.apply_1q(q, |a0, a1| {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                ((a0 + a1).scale(s), (a0 - a1).scale(s))
+            }),
+            Gate::S(q) => self.apply_1q(q, |a0, a1| (a0, a1 * C64::i())),
+            Gate::Sdg(q) => self.apply_1q(q, |a0, a1| (a0, a1 * C64::new(0.0, -1.0))),
+            Gate::X(q) => self.apply_1q(q, |a0, a1| (a1, a0)),
+            Gate::Rz(q, theta) => {
+                let e0 = C64::new((theta / 2.0).cos(), -(theta / 2.0).sin());
+                let e1 = e0.conj();
+                self.apply_1q(q, |a0, a1| (a0 * e0, a1 * e1));
+            }
+            Gate::Cnot(c, t) => {
+                let (cm, tm) = (1usize << c, 1usize << t);
+                for i in 0..self.amps.len() {
+                    if i & cm != 0 && i & tm == 0 {
+                        self.amps.swap(i, i | tm);
+                    }
+                }
+            }
+            Gate::Swap(a, b) => {
+                let (am, bm) = (1usize << a, 1usize << b);
+                for i in 0..self.amps.len() {
+                    if i & am != 0 && i & bm == 0 {
+                        self.amps.swap(i, (i & !am) | bm);
+                    }
+                }
+            }
+            Gate::Measure(_) => panic!("statevector oracle cannot apply Measure"),
+            Gate::Reset(q) => {
+                let m = 1usize << q;
+                let p1: f64 = self
+                    .amps
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i & m != 0)
+                    .map(|(_, a)| a.norm_sqr())
+                    .sum();
+                assert!(
+                    p1 < 1e-9,
+                    "Reset of a non-|0> qubit {q} (p1 = {p1:.3e}) — compiler bug"
+                );
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & m != 0 {
+                        *a = C64::zero();
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn apply_1q(&mut self, q: usize, f: impl Fn(C64, C64) -> (C64, C64)) {
+        let m = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & m == 0 {
+                let (a0, a1) = (self.amps[i], self.amps[i | m]);
+                let (b0, b1) = f(a0, a1);
+                self.amps[i] = b0;
+                self.amps[i | m] = b1;
+            }
+        }
+    }
+
+    /// Applies a whole circuit.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.n_qubits() <= self.n,
+            "circuit wider than statevector"
+        );
+        for g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies the Pauli string as an operator: `|ψ> ← P|ψ>`.
+    ///
+    /// The string may be narrower than the state (identity on the rest).
+    pub fn apply_pauli(&mut self, p: &PauliString) {
+        assert!(p.n_qubits() <= self.n, "pauli string wider than state");
+        let dim = self.amps.len();
+        let mut out = vec![C64::zero(); dim];
+        let sites = p.sparse();
+        for (i, amp) in self.amps.iter().enumerate() {
+            let mut j = i;
+            let mut phase = C64::one();
+            for &(q, op) in &sites {
+                let bit = (i >> q) & 1;
+                match op {
+                    PauliOp::X => j ^= 1 << q,
+                    PauliOp::Y => {
+                        j ^= 1 << q;
+                        // Y|0> = i|1>, Y|1> = -i|0>
+                        phase *= if bit == 0 { C64::i() } else { C64::new(0.0, -1.0) };
+                    }
+                    PauliOp::Z => {
+                        if bit == 1 {
+                            phase = phase.scale(-1.0);
+                        }
+                    }
+                    PauliOp::I => {}
+                }
+            }
+            out[j] += *amp * phase;
+        }
+        self.amps = out;
+    }
+
+    /// Applies the exact matrix exponential `exp(-i·(angle/2)·P)` — the
+    /// reference semantics of one synthesized Pauli string (paper Fig. 1).
+    pub fn apply_pauli_exp(&mut self, p: &PauliString, angle: f64) {
+        let mut rotated = self.clone();
+        rotated.apply_pauli(p);
+        let (c, s) = ((angle / 2.0).cos(), (angle / 2.0).sin());
+        let minus_i_sin = C64::new(0.0, -s);
+        for (a, r) in self.amps.iter_mut().zip(&rotated.amps) {
+            *a = a.scale(c) + *r * minus_i_sin;
+        }
+    }
+
+    /// Embeds this `n`-logical-qubit state into a wider physical register:
+    /// logical qubit `q` lands on physical qubit `assignment[q]`, every
+    /// other physical qubit is `|0>`. This is how compiled physical circuits
+    /// are compared against logical references (the layout is exactly such
+    /// an assignment).
+    ///
+    /// # Panics
+    /// Panics if assignments collide or exceed `n_physical`.
+    pub fn embed(&self, assignment: &[usize], n_physical: usize) -> Statevector {
+        assert_eq!(assignment.len(), self.n, "assignment width mismatch");
+        assert!(n_physical >= self.n && n_physical <= 26);
+        let mut seen = vec![false; n_physical];
+        for &p in assignment {
+            assert!(p < n_physical && !seen[p], "bad assignment");
+            seen[p] = true;
+        }
+        let mut amps = vec![C64::zero(); 1 << n_physical];
+        for (i, a) in self.amps.iter().enumerate() {
+            let mut j = 0usize;
+            for (q, &p) in assignment.iter().enumerate() {
+                if (i >> q) & 1 == 1 {
+                    j |= 1 << p;
+                }
+            }
+            amps[j] = *a;
+        }
+        Statevector {
+            n: n_physical,
+            amps,
+        }
+    }
+
+    /// The expectation value `<ψ| P |ψ>` of a Pauli string (real, since
+    /// Pauli strings are Hermitian). This is what a VQE loop evaluates
+    /// term by term to compute the energy.
+    pub fn expectation_value(&self, p: &PauliString) -> f64 {
+        let mut rotated = self.clone();
+        rotated.apply_pauli(p);
+        let mut acc = C64::zero();
+        for (a, b) in self.amps.iter().zip(&rotated.amps) {
+            acc += a.conj() * *b;
+        }
+        debug_assert!(acc.im.abs() < 1e-9, "Hermitian expectation must be real");
+        acc.re
+    }
+
+    /// Whether two states are equal up to a global phase, within `eps`.
+    pub fn equals_up_to_global_phase(&self, other: &Statevector, eps: f64) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        1.0 - self.overlap(other) < eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn h_squared_is_identity() {
+        let mut sv = Statevector::random_state(3, 1);
+        let orig = sv.clone();
+        sv.apply_gate(&Gate::H(1));
+        sv.apply_gate(&Gate::H(1));
+        assert!(sv.equals_up_to_global_phase(&orig, 1e-12));
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        // |10> (qubit0 = 1) → |11>
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_gate(&Gate::X(0));
+        sv.apply_gate(&Gate::Cnot(0, 1));
+        assert!((sv.probability_of(0b11) - 1.0).abs() < 1e-12);
+        // control 0 → no-op
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_gate(&Gate::Cnot(0, 1));
+        assert!((sv.probability_of(0b00) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_gate_swaps() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_gate(&Gate::X(0));
+        sv.apply_gate(&Gate::Swap(0, 1));
+        assert!((sv.probability_of(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let mut sv = Statevector::random_state(4, 7);
+        for g in [
+            Gate::H(0),
+            Gate::S(1),
+            Gate::Sdg(2),
+            Gate::X(3),
+            Gate::Rz(0, 0.37),
+            Gate::Cnot(1, 3),
+            Gate::Swap(0, 2),
+        ] {
+            sv.apply_gate(&g);
+            assert!((sv.norm_sqr() - 1.0).abs() < 1e-10, "{g}");
+        }
+    }
+
+    #[test]
+    fn pauli_involution() {
+        let mut sv = Statevector::random_state(4, 3);
+        let orig = sv.clone();
+        let p = ps("XYZI");
+        sv.apply_pauli(&p);
+        sv.apply_pauli(&p);
+        assert!(sv.equals_up_to_global_phase(&orig, 1e-12));
+    }
+
+    #[test]
+    fn rz_is_z_exponential() {
+        // Rz(θ) == exp(-iθ/2 Z) exactly (including global phase).
+        let mut a = Statevector::random_state(2, 11);
+        let mut b = a.clone();
+        a.apply_gate(&Gate::Rz(1, 0.83));
+        b.apply_pauli_exp(&ps("IZ"), 0.83);
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn basis_change_rule_for_x() {
+        // H·Rz(θ)·H == exp(-iθ/2 X)
+        let theta = 1.23;
+        let mut a = Statevector::random_state(1, 5);
+        let mut b = a.clone();
+        for g in [Gate::H(0), Gate::Rz(0, theta), Gate::H(0)] {
+            a.apply_gate(&g);
+        }
+        b.apply_pauli_exp(&ps("X"), theta);
+        assert!(a.equals_up_to_global_phase(&b, 1e-12));
+    }
+
+    #[test]
+    fn basis_change_rule_for_y() {
+        // (S†;H) · Rz(θ) · (H;S) == exp(-iθ/2 Y)  — paper Fig. 1 order.
+        let theta = 0.77;
+        let mut a = Statevector::random_state(1, 6);
+        let mut b = a.clone();
+        for g in [
+            Gate::Sdg(0),
+            Gate::H(0),
+            Gate::Rz(0, theta),
+            Gate::H(0),
+            Gate::S(0),
+        ] {
+            a.apply_gate(&g);
+        }
+        b.apply_pauli_exp(&ps("Y"), theta);
+        assert!(a.equals_up_to_global_phase(&b, 1e-12));
+    }
+
+    #[test]
+    fn pauli_exp_of_full_turn_is_identity() {
+        let mut sv = Statevector::random_state(3, 9);
+        let orig = sv.clone();
+        sv.apply_pauli_exp(&ps("XZY"), 2.0 * PI);
+        assert!(sv.equals_up_to_global_phase(&orig, 1e-12));
+    }
+
+    #[test]
+    fn reset_of_zero_ancilla_is_noop() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_gate(&Gate::X(0));
+        sv.apply_gate(&Gate::Reset(1));
+        assert!((sv.probability_of(0b01) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "compiler bug")]
+    fn reset_of_hot_qubit_panics() {
+        let mut sv = Statevector::zero_state(1);
+        sv.apply_gate(&Gate::X(0));
+        sv.apply_gate(&Gate::Reset(0));
+    }
+
+    #[test]
+    fn expectation_values() {
+        // <0|Z|0> = 1, <1|Z|1> = -1, <+|X|+> = 1.
+        let sv = Statevector::zero_state(1);
+        assert!((sv.expectation_value(&ps("Z")) - 1.0).abs() < 1e-12);
+        let mut one = Statevector::zero_state(1);
+        one.apply_gate(&Gate::X(0));
+        assert!((one.expectation_value(&ps("Z")) + 1.0).abs() < 1e-12);
+        let mut plus = Statevector::zero_state(1);
+        plus.apply_gate(&Gate::H(0));
+        assert!((plus.expectation_value(&ps("X")) - 1.0).abs() < 1e-12);
+        // Expectation of a traceless operator on the maximally mixed-ish
+        // random state stays in [-1, 1].
+        let r = Statevector::random_state(3, 8);
+        let e = r.expectation_value(&ps("XYZ"));
+        assert!((-1.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn embed_respects_assignment() {
+        // |1> on logical 0, placed on physical 2 of a 3-qubit register.
+        let mut sv = Statevector::zero_state(1);
+        sv.apply_gate(&Gate::X(0));
+        let wide = sv.embed(&[2], 3);
+        assert!((wide.probability_of(0b100) - 1.0).abs() < 1e-12);
+        // Embedding then acting on the mapped qubit == acting then embedding.
+        let mut a = Statevector::random_state(2, 13);
+        let mut b = a.embed(&[3, 1], 4);
+        a.apply_gate(&Gate::Cnot(0, 1));
+        b.apply_gate(&Gate::Cnot(3, 1));
+        assert!(a.embed(&[3, 1], 4).equals_up_to_global_phase(&b, 1e-12));
+    }
+
+    #[test]
+    fn circuit_and_inverse_return_to_start() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Rz(1, 0.9));
+        c.push(Gate::Swap(1, 2));
+        c.push(Gate::S(2));
+        let mut sv = Statevector::random_state(3, 21);
+        let orig = sv.clone();
+        sv.apply_circuit(&c);
+        sv.apply_circuit(&c.inverse());
+        assert!(sv.equals_up_to_global_phase(&orig, 1e-12));
+    }
+}

@@ -1,0 +1,23 @@
+//! # tetris-topology
+//!
+//! Hardware coupling graphs and logical↔physical layouts for the Tetris
+//! workspace. Provides the two backends of the paper's evaluation — IBM's
+//! 65-qubit heavy-hex ("ithaca") and a 64-qubit Google-Sycamore-style grid —
+//! plus line/grid/ring generators used by tests and examples.
+//!
+//! ```
+//! use tetris_topology::{CouplingGraph, Layout};
+//!
+//! let g = CouplingGraph::heavy_hex_65();
+//! assert_eq!(g.n_qubits(), 65);
+//! let layout = Layout::trivial(12, g.n_qubits());
+//! assert_eq!(layout.phys_of(3), Some(3));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod layout;
+
+pub use graph::CouplingGraph;
+pub use layout::Layout;

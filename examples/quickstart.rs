@@ -1,0 +1,46 @@
+//! Quickstart: compile the LiH UCCSD ansatz for IBM's 65-qubit heavy-hex
+//! device and print the statistics the paper reports.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tetris::core::{TetrisCompiler, TetrisConfig};
+use tetris::pauli::encoder::Encoding;
+use tetris::pauli::molecules::Molecule;
+use tetris::topology::CouplingGraph;
+
+fn main() {
+    // 1. Build the Hamiltonian: LiH, UCCSD ansatz, Jordan-Wigner encoding.
+    let hamiltonian = Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner);
+    println!(
+        "workload: {} — {} qubits, {} Pauli strings in {} blocks",
+        hamiltonian.name,
+        hamiltonian.n_qubits,
+        hamiltonian.pauli_string_count(),
+        hamiltonian.blocks.len(),
+    );
+
+    // 2. Pick a backend.
+    let graph = CouplingGraph::heavy_hex_65();
+    println!("backend:  {graph}");
+
+    // 3. Compile with the paper's default configuration (w = 3, K = 10,
+    //    bridging on).
+    let result = TetrisCompiler::new(TetrisConfig::default()).compile(&hamiltonian, &graph);
+    assert!(result.circuit.is_hardware_compliant(&graph));
+
+    let s = &result.stats;
+    println!("\ncompiled in {:.3}s", s.compile_seconds);
+    println!("  original logical CNOTs : {}", s.original_cnots);
+    println!(
+        "  canceled CNOTs         : {} ({:.1}% cancellation ratio)",
+        s.canceled_cnots,
+        100.0 * s.cancel_ratio()
+    );
+    println!("  SWAPs inserted         : {}", s.swaps_final);
+    println!("  total CNOT count       : {}", s.total_cnots());
+    println!("  total gate count       : {}", s.total_gates());
+    println!("  circuit depth          : {}", s.metrics.depth);
+    println!("  circuit duration (dt)  : {}", s.metrics.duration);
+}

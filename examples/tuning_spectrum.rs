@@ -1,0 +1,39 @@
+//! The Tetris tuning spectrum (paper §IV-B2 and Fig. 20): sweeping the SWAP
+//! weight `w` trades SWAP insertion against two-qubit gate cancellation.
+//! Small `w` → the compiler spends SWAPs to keep leaf qubits chained
+//! (maximum cancellation); large `w` → it attaches each leaf to the nearest
+//! placed qubit (minimum SWAPs, missed cancellations).
+//!
+//! ```sh
+//! cargo run --release --example tuning_spectrum
+//! ```
+
+use tetris::core::{TetrisCompiler, TetrisConfig};
+use tetris::pauli::encoder::Encoding;
+use tetris::pauli::molecules::Molecule;
+use tetris::topology::CouplingGraph;
+
+fn main() {
+    let h = Molecule::BeH2.uccsd_hamiltonian(Encoding::JordanWigner);
+    println!("BeH2 (JW) on heavy-hex and Sycamore, sweeping w:\n");
+    for graph in [CouplingGraph::heavy_hex_65(), CouplingGraph::sycamore_64()] {
+        println!("{graph}");
+        println!(
+            "  {:>7} {:>8} {:>14} {:>12} {:>9}",
+            "w", "swaps", "logicalCNOTs", "totalCNOTs", "cancel%"
+        );
+        for w in [0.1, 0.5, 1.0, 3.0, 5.0, 10.0, 100.0] {
+            let cfg = TetrisConfig::default().with_swap_weight(w);
+            let r = TetrisCompiler::new(cfg).compile(&h, &graph);
+            println!(
+                "  {:>7.1} {:>8} {:>14} {:>12} {:>8.1}%",
+                w,
+                r.stats.swaps_final,
+                r.stats.logical_cnots(),
+                r.stats.total_cnots(),
+                100.0 * r.stats.cancel_ratio(),
+            );
+        }
+        println!();
+    }
+}

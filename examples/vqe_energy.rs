@@ -1,0 +1,112 @@
+//! End-to-end VQE energy evaluation on a small system: build a toy
+//! Hamiltonian, prepare the UCCSD-style ansatz state by *running the
+//! compiled physical circuit* on the statevector simulator, and evaluate
+//! the energy `⟨ψ|H|ψ⟩` term by term — demonstrating that the compiled
+//! circuit is a drop-in replacement for the logical ansatz.
+//!
+//! ```sh
+//! cargo run --release --example vqe_energy
+//! ```
+
+use tetris::circuit::{Circuit, Gate};
+use tetris::core::{TetrisCompiler, TetrisConfig};
+use tetris::pauli::encoder::Encoding;
+use tetris::pauli::fermion::{double_excitation, single_excitation};
+use tetris::pauli::{Hamiltonian, PauliBlock, PauliString};
+use tetris::sim::Statevector;
+use tetris::topology::CouplingGraph;
+
+/// A 4-spin-orbital, 2-electron toy ansatz (H2-like).
+fn ansatz(encoding: Encoding) -> Hamiltonian {
+    let n = 4;
+    let blocks = vec![
+        PauliBlock::new(encoding.encode(&single_excitation(n, 2, 0)), 0.11, "s02"),
+        PauliBlock::new(encoding.encode(&single_excitation(n, 3, 1)), 0.08, "s13"),
+        PauliBlock::new(
+            encoding.encode(&double_excitation(n, 3, 2, 1, 0)),
+            -0.23,
+            "d0123",
+        ),
+    ];
+    Hamiltonian::new(n, blocks, format!("H2-{encoding}"))
+}
+
+/// A toy measurement Hamiltonian (ZZ couplings + fields).
+fn observable(n: usize) -> Vec<(PauliString, f64)> {
+    let mut terms = Vec::new();
+    for q in 0..n {
+        terms.push((
+            PauliString::from_sparse(n, &[(q, tetris::pauli::PauliOp::Z)]),
+            -0.4 + 0.1 * q as f64,
+        ));
+    }
+    for q in 0..n - 1 {
+        terms.push((
+            PauliString::from_sparse(
+                n,
+                &[(q, tetris::pauli::PauliOp::Z), (q + 1, tetris::pauli::PauliOp::Z)],
+            ),
+            0.25,
+        ));
+    }
+    terms
+}
+
+fn main() {
+    let n = 4;
+    let device = CouplingGraph::line(6);
+    let obs = observable(n);
+
+    // Hartree-Fock reference |0011> (modes 0 and 1 occupied).
+    let mut prep = Circuit::new(n);
+    prep.push(Gate::X(0));
+    prep.push(Gate::X(1));
+
+    for encoding in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
+        let h = ansatz(encoding);
+        let result = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &device);
+        assert!(result.circuit.is_hardware_compliant(&device));
+
+        // Logical reference energy.
+        let mut logical = Statevector::zero_state(n);
+        logical.apply_circuit(&prep);
+        for b in &result.emitted_blocks {
+            for t in &b.terms {
+                logical.apply_pauli_exp(&t.string, b.angle * t.coeff);
+            }
+        }
+        let e_logical: f64 = obs
+            .iter()
+            .map(|(p, c)| c * logical.expectation_value(p))
+            .sum();
+
+        // Physical energy: run the compiled circuit, then evaluate the
+        // observable through the final layout permutation.
+        let mut physical = Statevector::zero_state(n);
+        physical.apply_circuit(&prep);
+        let mut physical = physical.embed(&result.initial_layout.as_assignment(), 6);
+        physical.apply_circuit(&result.circuit);
+        let assignment = result.final_layout.as_assignment();
+        let e_physical: f64 = obs
+            .iter()
+            .map(|(p, c)| {
+                let mapped = PauliString::from_sparse(
+                    6,
+                    &p.sparse()
+                        .into_iter()
+                        .map(|(q, op)| (assignment[q], op))
+                        .collect::<Vec<_>>(),
+                );
+                c * physical.expectation_value(&mapped)
+            })
+            .sum();
+
+        println!(
+            "{encoding}: E_logical = {e_logical:+.9}, E_physical = {e_physical:+.9}, |Δ| = {:.2e}  ({} CNOTs)",
+            (e_logical - e_physical).abs(),
+            result.stats.total_cnots()
+        );
+        assert!((e_logical - e_physical).abs() < 1e-9);
+    }
+    println!("\ncompiled circuits reproduce the logical VQE energy exactly ✔");
+}

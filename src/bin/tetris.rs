@@ -1,0 +1,188 @@
+//! `tetris` — command-line front end of the Tetris compiler.
+//!
+//! ```sh
+//! tetris compile --molecule BeH2 --encoder bk --backend sycamore --qasm out.qasm
+//! tetris qaoa --nodes 18 --degree 3 --qasm out.qasm
+//! tetris compare --molecule LiH
+//! ```
+
+use std::process::ExitCode;
+use tetris::baselines::{max_cancel, paulihedral, pcoast_like, qaoa_2qan};
+use tetris::circuit::qasm::to_qasm;
+use tetris::core::{CompileStats, TetrisCompiler, TetrisConfig};
+use tetris::pauli::encoder::Encoding;
+use tetris::pauli::molecules::Molecule;
+use tetris::pauli::qaoa::{maxcut_hamiltonian, Graph};
+use tetris::pauli::Hamiltonian;
+use tetris::topology::CouplingGraph;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  tetris compile [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
+                 [--swap-weight W] [--lookahead K] [--no-bridging] [--qasm FILE]
+  tetris qaoa    [--nodes N] [--degree D | --edges M] [--seed S] [--qasm FILE]
+  tetris compare [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
+
+molecules: LiH BeH2 CH4 MgH2 LiCl CO2"
+    );
+    ExitCode::FAILURE
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+}
+
+fn molecule(args: &Args) -> Option<Molecule> {
+    match args.value("--molecule").unwrap_or("LiH") {
+        "LiH" => Some(Molecule::LiH),
+        "BeH2" => Some(Molecule::BeH2),
+        "CH4" => Some(Molecule::CH4),
+        "MgH2" => Some(Molecule::MgH2),
+        "LiCl" => Some(Molecule::LiCl),
+        "CO2" => Some(Molecule::CO2),
+        other => {
+            eprintln!("unknown molecule `{other}`");
+            None
+        }
+    }
+}
+
+fn encoding(args: &Args) -> Option<Encoding> {
+    match args.value("--encoder").unwrap_or("jw") {
+        "jw" => Some(Encoding::JordanWigner),
+        "bk" => Some(Encoding::BravyiKitaev),
+        other => {
+            eprintln!("unknown encoder `{other}` (jw|bk)");
+            None
+        }
+    }
+}
+
+fn backend(args: &Args) -> Option<CouplingGraph> {
+    match args.value("--backend").unwrap_or("heavy-hex") {
+        "heavy-hex" => Some(CouplingGraph::heavy_hex_65()),
+        "sycamore" => Some(CouplingGraph::sycamore_64()),
+        other => {
+            eprintln!("unknown backend `{other}` (heavy-hex|sycamore)");
+            None
+        }
+    }
+}
+
+fn config(args: &Args) -> TetrisConfig {
+    let mut cfg = TetrisConfig::default();
+    if let Some(w) = args.value("--swap-weight").and_then(|v| v.parse().ok()) {
+        cfg = cfg.with_swap_weight(w);
+    }
+    if let Some(k) = args.value("--lookahead").and_then(|v| v.parse().ok()) {
+        cfg = cfg.with_lookahead(k);
+    }
+    if args.flag("--no-bridging") {
+        cfg = cfg.with_bridging(false);
+    }
+    cfg
+}
+
+fn print_stats(label: &str, stats: &CompileStats) {
+    println!(
+        "{label:<18} CNOTs={:<8} swaps={:<6} depth={:<8} duration={:<10} cancel={:.1}% ({:.3}s)",
+        stats.total_cnots(),
+        stats.swaps_final,
+        stats.metrics.depth,
+        stats.metrics.duration,
+        100.0 * stats.cancel_ratio(),
+        stats.compile_seconds,
+    );
+}
+
+fn write_qasm(args: &Args, circuit: &tetris::circuit::Circuit) {
+    if let Some(path) = args.value("--qasm") {
+        std::fs::write(path, to_qasm(circuit)).expect("write qasm file");
+        println!("wrote {path}");
+    }
+}
+
+fn cmd_compile(args: &Args) -> Option<ExitCode> {
+    let m = molecule(args)?;
+    let enc = encoding(args)?;
+    let graph = backend(args)?;
+    eprintln!("building {m} ({enc})…");
+    let h = m.uccsd_hamiltonian(enc);
+    let result = TetrisCompiler::new(config(args)).compile(&h, &graph);
+    assert!(result.circuit.is_hardware_compliant(&graph));
+    print_stats("tetris", &result.stats);
+    write_qasm(args, &result.circuit);
+    Some(ExitCode::SUCCESS)
+}
+
+fn cmd_qaoa(args: &Args) -> Option<ExitCode> {
+    let n: usize = args.value("--nodes").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.value("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let g = if let Some(m) = args.value("--edges").and_then(|v| v.parse().ok()) {
+        Graph::random_gnm(n, m, seed)
+    } else {
+        let d: usize = args.value("--degree").and_then(|v| v.parse().ok()).unwrap_or(3);
+        Graph::random_regular(n, d, seed)
+    };
+    let h = maxcut_hamiltonian(&g, "qaoa");
+    let graph = backend(args)?;
+    let result = TetrisCompiler::new(config(args)).compile(&h, &graph);
+    print_stats("tetris", &result.stats);
+    let two_qan = qaoa_2qan::compile(&h, &graph, seed);
+    print_stats("2qan-lite", &two_qan.stats);
+    write_qasm(args, &result.circuit);
+    Some(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &Args) -> Option<ExitCode> {
+    let m = molecule(args)?;
+    let enc = encoding(args)?;
+    let graph = backend(args)?;
+    eprintln!("building {m} ({enc})…");
+    let h: Hamiltonian = m.uccsd_hamiltonian(enc);
+    eprintln!("compiling with every compiler…");
+    print_stats("paulihedral", &paulihedral::compile(&h, &graph, true).stats);
+    print_stats("max-cancel", &max_cancel::compile(&h, &graph).stats);
+    print_stats("pcoast-like", &pcoast_like::compile(&h, &graph).stats);
+    print_stats(
+        "tetris",
+        &TetrisCompiler::new(TetrisConfig::without_lookahead())
+            .compile(&h, &graph)
+            .stats,
+    );
+    print_stats(
+        "tetris+lookahead",
+        &TetrisCompiler::new(TetrisConfig::default())
+            .compile(&h, &graph)
+            .stats,
+    );
+    Some(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        return usage();
+    };
+    let args = Args(argv);
+    let result = match cmd.as_str() {
+        "compile" => cmd_compile(&args),
+        "qaoa" => cmd_qaoa(&args),
+        "compare" => cmd_compare(&args),
+        _ => None,
+    };
+    result.unwrap_or_else(usage)
+}
