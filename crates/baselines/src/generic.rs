@@ -51,7 +51,11 @@ pub fn logical_circuit(hamiltonian: &Hamiltonian) -> (Circuit, usize) {
 }
 
 /// Full generic pipeline at the given optimization level.
-pub fn compile(hamiltonian: &Hamiltonian, graph: &CouplingGraph, level: OptLevel) -> BaselineResult {
+pub fn compile(
+    hamiltonian: &Hamiltonian,
+    graph: &CouplingGraph,
+    level: OptLevel,
+) -> BaselineResult {
     let t0 = Instant::now();
     let (logical, original) = logical_circuit(hamiltonian);
     let name = match level {

@@ -77,15 +77,7 @@ pub fn max_cancel_ratio(hamiltonian: &Hamiltonian) -> f64 {
 pub fn compile(hamiltonian: &Hamiltonian, graph: &CouplingGraph) -> BaselineResult {
     let t0 = Instant::now();
     let (logical, original_cnots) = logical_circuit(hamiltonian);
-    let mut r = route_and_finish(
-        "max_cancel",
-        logical,
-        original_cnots,
-        graph,
-        true,
-        true,
-        t0,
-    );
+    let mut r = route_and_finish("max_cancel", logical, original_cnots, graph, true, true, t0);
     r.stats.metrics = Metrics::of(&r.circuit);
     r
 }
@@ -136,7 +128,9 @@ mod tests {
         let h = Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner);
         let g = CouplingGraph::heavy_hex_65();
         let max = max_cancel_ratio(&h);
-        let ph = crate::paulihedral::compile(&h, &g, true).stats.cancel_ratio();
+        let ph = crate::paulihedral::compile(&h, &g, true)
+            .stats
+            .cancel_ratio();
         assert!(max > ph, "max {max:.3} vs ph {ph:.3}");
     }
 

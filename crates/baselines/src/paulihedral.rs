@@ -233,10 +233,7 @@ mod tests {
     fn semantics_match_exponential_product() {
         let h = ham(
             4,
-            vec![
-                vec![("XZZY", 0.4), ("YZZX", -0.4)],
-                vec![("IZZI", 0.9)],
-            ],
+            vec![vec![("XZZY", 0.4), ("YZZX", -0.4)], vec![("IZZI", 0.9)]],
         );
         let g = CouplingGraph::line(6);
         let r = compile(&h, &g, true);

@@ -16,11 +16,11 @@
 //! gap Fig. 23 measures.
 
 use crate::common::BaselineResult;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use tetris_circuit::{cancel_gates_commutative, Circuit, Gate, Metrics};
 use tetris_core::stats::CompileStats;
+use tetris_pauli::rng::rngs::StdRng;
+use tetris_pauli::rng::{Rng, SeedableRng};
 use tetris_pauli::Hamiltonian;
 use tetris_topology::{CouplingGraph, Layout};
 
@@ -135,9 +135,7 @@ fn anneal_placement(
     let cost = |l: &Layout| -> u64 {
         terms
             .iter()
-            .map(|&(u, v, _)| {
-                graph.dist(l.phys_of(u).expect("p"), l.phys_of(v).expect("p")) as u64
-            })
+            .map(|&(u, v, _)| graph.dist(l.phys_of(u).expect("p"), l.phys_of(v).expect("p")) as u64)
             .sum()
     };
     let mut best = cost(&layout);
@@ -194,9 +192,7 @@ mod tests {
         let cost = |l: &Layout| -> u64 {
             terms
                 .iter()
-                .map(|&(u, v, _)| {
-                    device.dist(l.phys_of(u).unwrap(), l.phys_of(v).unwrap()) as u64
-                })
+                .map(|&(u, v, _)| device.dist(l.phys_of(u).unwrap(), l.phys_of(v).unwrap()) as u64)
                 .sum()
         };
         assert!(cost(&placed) <= cost(&trivial));

@@ -1,35 +1,28 @@
-//! Criterion benchmarks for end-to-end compilation (the timing dimension of
-//! the paper's Fig. 24).
+//! End-to-end compilation timing (the timing dimension of the paper's
+//! Fig. 24). Criterion is not vendored in this workspace, so this is a
+//! plain `harness = false` timing loop over a few samples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tetris_baselines::paulihedral;
+use tetris_bench::timing::{time_best_of, SAMPLES};
 use tetris_core::{TetrisCompiler, TetrisConfig};
 use tetris_pauli::encoder::Encoding;
 use tetris_pauli::molecules::Molecule;
 use tetris_topology::CouplingGraph;
 
-fn bench_compilers(c: &mut Criterion) {
+fn main() {
     let graph = CouplingGraph::heavy_hex_65();
-    let mut group = c.benchmark_group("compile");
-    group.sample_size(10);
     for m in [Molecule::LiH, Molecule::BeH2] {
         let h = m.uccsd_hamiltonian(Encoding::JordanWigner);
-        group.bench_with_input(BenchmarkId::new("tetris", m.name()), &h, |b, h| {
-            b.iter(|| TetrisCompiler::new(TetrisConfig::default()).compile(h, &graph))
+        time_best_of(&format!("tetris/{}", m.name()), SAMPLES, || {
+            TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph)
         });
-        group.bench_with_input(
-            BenchmarkId::new("tetris-no-lookahead", m.name()),
-            &h,
-            |b, h| {
-                b.iter(|| TetrisCompiler::new(TetrisConfig::without_lookahead()).compile(h, &graph))
-            },
+        time_best_of(
+            &format!("tetris-no-lookahead/{}", m.name()),
+            SAMPLES,
+            || TetrisCompiler::new(TetrisConfig::without_lookahead()).compile(&h, &graph),
         );
-        group.bench_with_input(BenchmarkId::new("paulihedral", m.name()), &h, |b, h| {
-            b.iter(|| paulihedral::compile(h, &graph, true))
+        time_best_of(&format!("paulihedral/{}", m.name()), SAMPLES, || {
+            paulihedral::compile(&h, &graph, true)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compilers);
-criterion_main!(benches);

@@ -1,61 +1,40 @@
-//! Criterion benchmarks for the individual pipeline stages: encoders,
-//! peephole optimizer, router.
+//! Timing of the individual pipeline stages: encoders, peephole optimizer,
+//! router. Criterion is not vendored in this workspace, so this is a plain
+//! `harness = false` timing loop over a few samples.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tetris_baselines::max_cancel;
+use tetris_bench::timing::{time_best_of, SAMPLES};
 use tetris_circuit::cancel_gates;
 use tetris_pauli::encoder::Encoding;
 use tetris_pauli::molecules::Molecule;
 use tetris_router::{route, RouterConfig};
 use tetris_topology::{CouplingGraph, Layout};
 
-fn bench_encoders(c: &mut Criterion) {
+fn main() {
     let ansatz = Molecule::LiH.ansatz();
-    let mut group = c.benchmark_group("encode");
-    group.sample_size(10);
-    group.bench_function("jordan-wigner-LiH", |b| {
-        b.iter(|| ansatz.hamiltonian(Encoding::JordanWigner, 1, "LiH"))
+    time_best_of("encode/jordan-wigner-LiH", SAMPLES, || {
+        ansatz.hamiltonian(Encoding::JordanWigner, 1, "LiH")
     });
-    group.bench_function("bravyi-kitaev-LiH", |b| {
-        b.iter(|| ansatz.hamiltonian(Encoding::BravyiKitaev, 1, "LiH"))
+    time_best_of("encode/bravyi-kitaev-LiH", SAMPLES, || {
+        ansatz.hamiltonian(Encoding::BravyiKitaev, 1, "LiH")
     });
-    group.finish();
-}
 
-fn bench_optimizer(c: &mut Criterion) {
     let h = Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner);
     let (logical, _) = max_cancel::logical_circuit(&h);
-    let mut group = c.benchmark_group("optimizer");
-    group.sample_size(10);
-    group.bench_function("cancel-LiH-logical", |b| {
-        b.iter_batched(
-            || logical.clone(),
-            |mut c| cancel_gates(&mut c),
-            criterion::BatchSize::LargeInput,
+    time_best_of("optimizer/cancel-LiH-logical", SAMPLES, || {
+        let mut c = logical.clone();
+        cancel_gates(&mut c)
+    });
+
+    let mut routed_input = logical;
+    cancel_gates(&mut routed_input);
+    let graph = CouplingGraph::heavy_hex_65();
+    time_best_of("router/sabre-LiH", SAMPLES, || {
+        route(
+            &routed_input,
+            &graph,
+            Layout::trivial(routed_input.n_qubits(), graph.n_qubits()),
+            &RouterConfig::default(),
         )
     });
-    group.finish();
 }
-
-fn bench_router(c: &mut Criterion) {
-    let h = Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner);
-    let (mut logical, _) = max_cancel::logical_circuit(&h);
-    cancel_gates(&mut logical);
-    let graph = CouplingGraph::heavy_hex_65();
-    let mut group = c.benchmark_group("router");
-    group.sample_size(10);
-    group.bench_function("sabre-LiH", |b| {
-        b.iter(|| {
-            route(
-                &logical,
-                &graph,
-                Layout::trivial(logical.n_qubits(), graph.n_qubits()),
-                &RouterConfig::default(),
-            )
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_encoders, bench_optimizer, bench_router);
-criterion_main!(benches);

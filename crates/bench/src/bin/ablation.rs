@@ -29,8 +29,14 @@ fn main() {
                 ..TetrisConfig::default()
             },
         ),
-        ("w = 0.1 (cancel-greedy)", TetrisConfig::default().with_swap_weight(0.1)),
-        ("w = 100 (swap-averse)", TetrisConfig::default().with_swap_weight(100.0)),
+        (
+            "w = 0.1 (cancel-greedy)",
+            TetrisConfig::default().with_swap_weight(0.1),
+        ),
+        (
+            "w = 100 (swap-averse)",
+            TetrisConfig::default().with_swap_weight(100.0),
+        ),
         (
             "packed initial layout",
             TetrisConfig::default().with_initial_layout(InitialLayout::Packed),

@@ -1,38 +1,55 @@
 //! Fig. 14: CNOT gate count — T|Ket⟩ vs PCOAST vs Paulihedral vs Tetris vs
 //! Tetris+lookahead on the four smaller molecules (JW, heavy-hex).
+//!
+//! Runs through the batch-compilation engine: all (molecule × compiler)
+//! points compile concurrently on the worker pool, and repeated points
+//! (e.g. a re-run within one process) are served from the result cache.
 
-use tetris_baselines::{generic, paulihedral, pcoast_like};
+use std::sync::Arc;
 use tetris_bench::table::{human, Table};
 use tetris_bench::{results_dir, workloads};
-use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_engine::{Backend, CompileJob, Engine};
 use tetris_pauli::encoder::Encoding;
 use tetris_pauli::molecules::Molecule;
 use tetris_topology::CouplingGraph;
 
 fn main() {
-    let graph = CouplingGraph::heavy_hex_65();
+    let graph = Arc::new(CouplingGraph::heavy_hex_65());
+    let sweep = Backend::evaluation_sweep();
+
+    let jobs: Vec<CompileJob> = Molecule::SMALL
+        .into_iter()
+        .flat_map(|m| {
+            let ham = Arc::new(workloads::molecule(m, Encoding::JordanWigner));
+            let graph = graph.clone();
+            sweep
+                .clone()
+                .into_iter()
+                .map(move |b| CompileJob::new(m.name(), b, ham.clone(), graph.clone()))
+        })
+        .collect();
+
+    let engine = Engine::with_default_config();
+    eprintln!(
+        "[fig14] compiling {} points on {} workers…",
+        jobs.len(),
+        engine.threads()
+    );
+    let results = engine.compile_batch(jobs);
+
     let mut t = Table::new(&[
-        "Bench.", "TKet", "PCOAST", "PH", "Tetris", "Tetris+lookahead",
+        "Bench.",
+        "TKet",
+        "PCOAST",
+        "PH",
+        "Tetris",
+        "Tetris+lookahead",
     ]);
-    for m in Molecule::SMALL {
-        let h = workloads::molecule(m, Encoding::JordanWigner);
-        eprintln!("[fig14] {m}: tket…");
-        let tket = generic::compile(&h, &graph, generic::OptLevel::Native);
-        eprintln!("[fig14] {m}: pcoast…");
-        let pcoast = pcoast_like::compile(&h, &graph);
-        eprintln!("[fig14] {m}: ph…");
-        let ph = paulihedral::compile(&h, &graph, true);
-        eprintln!("[fig14] {m}: tetris…");
-        let tetris = TetrisCompiler::new(TetrisConfig::without_lookahead()).compile(&h, &graph);
-        let tetris_la = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
-        t.row(vec![
-            m.name().into(),
-            human(tket.stats.total_cnots()),
-            human(pcoast.stats.total_cnots()),
-            human(ph.stats.total_cnots()),
-            human(tetris.stats.total_cnots()),
-            human(tetris_la.stats.total_cnots()),
-        ]);
+    // Results arrive in submission order: molecule-major, sweep-minor.
+    for row in results.chunks(sweep.len()) {
+        let mut cells = vec![row[0].name.clone()];
+        cells.extend(row.iter().map(|r| human(r.output.stats.total_cnots())));
+        t.row(cells);
     }
     t.emit(&results_dir().join("fig14.csv"));
 }

@@ -27,8 +27,10 @@ fn main() {
         eprintln!("[fig16] {m}…");
         let ph_raw = paulihedral::compile(&h, &graph, false);
         let ph_opt = paulihedral::compile(&h, &graph, true);
-        let mut cfg_raw = TetrisConfig::default();
-        cfg_raw.post_optimize = false;
+        let cfg_raw = TetrisConfig {
+            post_optimize: false,
+            ..Default::default()
+        };
         let tet_raw = TetrisCompiler::new(cfg_raw).compile(&h, &graph);
         let tet_opt = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
         t.row(vec![

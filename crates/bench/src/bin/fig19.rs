@@ -16,8 +16,8 @@ fn main() {
         let h = workloads::molecule(m, Encoding::JordanWigner);
         for &k in &ks {
             eprintln!("[fig19] {m} K={k}…");
-            let r = TetrisCompiler::new(TetrisConfig::default().with_lookahead(k))
-                .compile(&h, &graph);
+            let r =
+                TetrisCompiler::new(TetrisConfig::default().with_lookahead(k)).compile(&h, &graph);
             t.row(vec![
                 m.name().into(),
                 k.to_string(),

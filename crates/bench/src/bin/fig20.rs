@@ -18,8 +18,8 @@ fn main() {
         for g in &backends {
             for &w in &weights {
                 eprintln!("[fig20] {m} {} w={w}…", g.name());
-                let r = TetrisCompiler::new(TetrisConfig::default().with_swap_weight(w))
-                    .compile(&h, g);
+                let r =
+                    TetrisCompiler::new(TetrisConfig::default().with_swap_weight(w)).compile(&h, g);
                 t.row(vec![
                     m.name().into(),
                     g.name().into(),

@@ -2,14 +2,14 @@
 //! CO2, randomly sampled sub-circuits, depolarizing p2 = 1e-3, p1 = 1e-4),
 //! reported as min/mean/max over samples like the paper's box plots.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tetris_baselines::paulihedral;
 use tetris_bench::table::Table;
 use tetris_bench::{results_dir, workloads};
 use tetris_core::{TetrisCompiler, TetrisConfig};
 use tetris_pauli::encoder::Encoding;
 use tetris_pauli::molecules::Molecule;
+use tetris_pauli::rng::rngs::StdRng;
+use tetris_pauli::rng::{Rng, SeedableRng};
 use tetris_pauli::Hamiltonian;
 use tetris_sim::NoiseModel;
 use tetris_topology::CouplingGraph;
@@ -33,7 +33,13 @@ fn main() {
     let graph = CouplingGraph::heavy_hex_65();
     let noise = NoiseModel::default();
     let mut t = Table::new(&[
-        "Bench.", "#Blocks", "PH min", "PH mean", "PH max", "Tetris min", "Tetris mean",
+        "Bench.",
+        "#Blocks",
+        "PH min",
+        "PH mean",
+        "PH max",
+        "Tetris min",
+        "Tetris mean",
         "Tetris max",
     ]);
     for (m, n_samples) in [(Molecule::LiH, 20usize), (Molecule::CO2, 5)] {

@@ -2,8 +2,8 @@
 //! normalized to Paulihedral, averaged over 5 random graph instances.
 
 use tetris_baselines::{paulihedral, qaoa_2qan};
-use tetris_bench::table::Table;
 use tetris_bench::results_dir;
+use tetris_bench::table::Table;
 use tetris_core::{TetrisCompiler, TetrisConfig};
 use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
 use tetris_topology::CouplingGraph;
@@ -11,15 +11,29 @@ use tetris_topology::CouplingGraph;
 fn main() {
     let graph = CouplingGraph::heavy_hex_65();
     let mut t = Table::new(&[
-        "Bench.", "2QAN/PH gates", "Tetris/PH gates", "2QAN/PH depth", "Tetris/PH depth",
+        "Bench.",
+        "2QAN/PH gates",
+        "Tetris/PH gates",
+        "2QAN/PH depth",
+        "Tetris/PH depth",
     ]);
-    let cases: Vec<(String, Box<dyn Fn(u64) -> Graph>)> = vec![
+    type GraphGen = Box<dyn Fn(u64) -> Graph>;
+    let cases: Vec<(String, GraphGen)> = vec![
         ("ran16".into(), Box::new(|s| Graph::random_gnm(16, 25, s))),
         ("ran18".into(), Box::new(|s| Graph::random_gnm(18, 31, s))),
         ("ran20".into(), Box::new(|s| Graph::random_gnm(20, 40, s))),
-        ("reg16".into(), Box::new(|s| Graph::random_regular(16, 3, s))),
-        ("reg18".into(), Box::new(|s| Graph::random_regular(18, 3, s))),
-        ("reg20".into(), Box::new(|s| Graph::random_regular(20, 3, s))),
+        (
+            "reg16".into(),
+            Box::new(|s| Graph::random_regular(16, 3, s)),
+        ),
+        (
+            "reg18".into(),
+            Box::new(|s| Graph::random_regular(18, 3, s)),
+        ),
+        (
+            "reg20".into(),
+            Box::new(|s| Graph::random_regular(20, 3, s)),
+        ),
     ];
     for (name, gen) in cases {
         let mut ratios = [0.0f64; 4];

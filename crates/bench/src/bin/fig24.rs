@@ -32,8 +32,10 @@ fn main() {
             let _ = paulihedral::compile(&h, &graph, true);
             t0.elapsed().as_secs_f64()
         };
-        let mut cfg_raw = TetrisConfig::default();
-        cfg_raw.post_optimize = false;
+        let cfg_raw = TetrisConfig {
+            post_optimize: false,
+            ..Default::default()
+        };
         let t_tet_raw = {
             let t0 = Instant::now();
             let _ = TetrisCompiler::new(cfg_raw).compile(&h, &graph);

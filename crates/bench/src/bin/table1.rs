@@ -1,10 +1,14 @@
 //! Table I: benchmark characteristics — #qubits, #Pauli strings, logical
 //! #CNOT and #1q of the naive synthesis, for molecules (JW), synthetic
 //! UCCSD and QAOA graphs.
+//!
+//! The workload list comes from the engine suite
+//! ([`tetris_bench::suite::suite_workloads`]), so the rows here are exactly
+//! the workloads `tetris bench-suite` compiles.
 
+use tetris_bench::suite::suite_workloads;
 use tetris_bench::table::Table;
-use tetris_bench::{quick_mode, results_dir, workloads};
-use tetris_pauli::encoder::Encoding;
+use tetris_bench::{quick_mode, results_dir};
 use tetris_pauli::Hamiltonian;
 
 fn one_q_count(h: &Hamiltonian) -> usize {
@@ -27,41 +31,35 @@ fn one_q_count(h: &Hamiltonian) -> usize {
         .sum()
 }
 
+fn section(name: &str, h: &Hamiltonian) -> &'static str {
+    if name.starts_with("UCC-") {
+        "UCCSD"
+    } else if tetris_bench::suite::is_qaoa_shaped(h) {
+        "QAOA"
+    } else {
+        "Molecules"
+    }
+}
+
 fn main() {
     let quick = quick_mode();
     let mut t = Table::new(&["Type", "Bench.", "#qubits", "#Pauli", "#CNOT", "#1Q"]);
-    for m in workloads::molecule_set(quick) {
-        let h = workloads::molecule(m, Encoding::JordanWigner);
-        t.row(vec![
-            "Molecules".into(),
-            m.name().into(),
-            h.n_qubits.to_string(),
-            h.pauli_string_count().to_string(),
-            h.naive_cnot_count().to_string(),
-            one_q_count(&h).to_string(),
-        ]);
-    }
-    for h in workloads::synthetic_set(quick) {
-        t.row(vec![
-            "UCCSD".into(),
-            h.name.replace("-JW", ""),
-            h.n_qubits.to_string(),
-            h.pauli_string_count().to_string(),
-            h.naive_cnot_count().to_string(),
-            one_q_count(&h).to_string(),
-        ]);
-    }
-    for h in workloads::qaoa_set(7) {
+    for (name, h) in suite_workloads(quick) {
+        let kind = section(&name, &h);
         // QAOA circuits additionally carry one initial H and one RX-mixer
         // gate per qubit (2n single-qubit gates), which the paper's Table I
         // counts; the cost layer itself contributes one Rz per edge.
+        let one_q = match kind {
+            "QAOA" => one_q_count(&h) + 2 * h.n_qubits,
+            _ => one_q_count(&h),
+        };
         t.row(vec![
-            "QAOA".into(),
-            h.name.clone(),
+            kind.into(),
+            name.replace("-JW", ""),
             h.n_qubits.to_string(),
             h.pauli_string_count().to_string(),
             h.naive_cnot_count().to_string(),
-            (one_q_count(&h) + 2 * h.n_qubits).to_string(),
+            one_q.to_string(),
         ]);
     }
     t.emit(&results_dir().join("table1.csv"));

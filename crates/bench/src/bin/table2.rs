@@ -1,58 +1,100 @@
 //! Table II: Paulihedral vs Tetris on the IBM heavy-hex backend — total
 //! gates, CNOT gates, depth and duration, for the JW and BK encoders plus
 //! the synthetic UCC benchmarks.
+//!
+//! Runs through the batch-compilation engine: every (workload × compiler)
+//! pair is one job, fanned out over the worker pool.
 
-use tetris_baselines::paulihedral;
+use std::sync::Arc;
 use tetris_bench::table::{human, improvement, Table};
 use tetris_bench::{quick_mode, results_dir, workloads};
-use tetris_core::{TetrisCompiler, TetrisConfig};
+use tetris_core::TetrisConfig;
+use tetris_engine::{Backend, CompileJob, Engine, JobResult};
 use tetris_pauli::encoder::Encoding;
-use tetris_pauli::Hamiltonian;
 use tetris_topology::CouplingGraph;
-
-fn run_row(t: &mut Table, section: &str, name: &str, h: &Hamiltonian, graph: &CouplingGraph) {
-    eprintln!("[table2] {section}/{name}…");
-    let ph = paulihedral::compile(h, graph, true);
-    let tetris = TetrisCompiler::new(TetrisConfig::default()).compile(h, graph);
-    let (pm, tm) = (ph.stats.metrics, tetris.stats.metrics);
-    t.row(vec![
-        section.into(),
-        name.into(),
-        human(pm.total_gates),
-        human(tm.total_gates),
-        improvement(pm.total_gates, tm.total_gates),
-        human(pm.cnot_count),
-        human(tm.cnot_count),
-        improvement(pm.cnot_count, tm.cnot_count),
-        human(pm.depth),
-        human(tm.depth),
-        improvement(pm.depth, tm.depth),
-        human(pm.duration as usize),
-        human(tm.duration as usize),
-        improvement(pm.duration as usize, tm.duration as usize),
-    ]);
-}
 
 fn main() {
     let quick = quick_mode();
-    let graph = CouplingGraph::heavy_hex_65();
-    let mut t = Table::new(&[
-        "Encoder", "Bench.", "Total PH", "Total Tetris", "Improv.", "CNOT PH", "CNOT Tetris",
-        "Improv.", "Depth PH", "Depth Tetris", "Improv.", "Dur PH", "Dur Tetris", "Improv.",
-    ]);
+    let graph = Arc::new(CouplingGraph::heavy_hex_65());
+
+    // (section, name, hamiltonian) rows in table order.
+    let mut rows = Vec::new();
     for enc in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
         let section = match enc {
             Encoding::JordanWigner => "Jordan-Wigner",
             Encoding::BravyiKitaev => "Bravyi-Kitaev",
         };
         for m in workloads::molecule_set(quick) {
-            let h = workloads::molecule(m, enc);
-            run_row(&mut t, section, m.name(), &h, &graph);
+            rows.push((
+                section,
+                m.name().to_string(),
+                Arc::new(workloads::molecule(m, enc)),
+            ));
         }
     }
     for h in workloads::synthetic_set(quick) {
         let name = h.name.replace("-JW", "");
-        run_row(&mut t, "Synthetic", &name, &h, &graph);
+        rows.push(("Synthetic", name, Arc::new(h)));
+    }
+
+    // Two jobs per row: Paulihedral then Tetris+lookahead.
+    let jobs: Vec<CompileJob> = rows
+        .iter()
+        .flat_map(|(_, name, ham)| {
+            [
+                Backend::Paulihedral {
+                    post_optimize: true,
+                },
+                Backend::Tetris(TetrisConfig::default()),
+            ]
+            .into_iter()
+            .map(|b| CompileJob::new(name.clone(), b, ham.clone(), graph.clone()))
+        })
+        .collect();
+
+    let engine = Engine::with_default_config();
+    eprintln!(
+        "[table2] compiling {} points on {} workers…",
+        jobs.len(),
+        engine.threads()
+    );
+    let results = engine.compile_batch(jobs);
+
+    let mut t = Table::new(&[
+        "Encoder",
+        "Bench.",
+        "Total PH",
+        "Total Tetris",
+        "Improv.",
+        "CNOT PH",
+        "CNOT Tetris",
+        "Improv.",
+        "Depth PH",
+        "Depth Tetris",
+        "Improv.",
+        "Dur PH",
+        "Dur Tetris",
+        "Improv.",
+    ]);
+    for ((section, name, _), pair) in rows.iter().zip(results.chunks(2)) {
+        let [ph, tetris]: &[JobResult; 2] = pair.try_into().expect("two jobs per row");
+        let (pm, tm) = (ph.output.stats.metrics, tetris.output.stats.metrics);
+        t.row(vec![
+            (*section).into(),
+            name.clone(),
+            human(pm.total_gates),
+            human(tm.total_gates),
+            improvement(pm.total_gates, tm.total_gates),
+            human(pm.cnot_count),
+            human(tm.cnot_count),
+            improvement(pm.cnot_count, tm.cnot_count),
+            human(pm.depth),
+            human(tm.depth),
+            improvement(pm.depth, tm.depth),
+            human(pm.duration as usize),
+            human(tm.duration as usize),
+            improvement(pm.duration as usize, tm.duration as usize),
+        ]);
     }
     t.emit(&results_dir().join("table2.csv"));
 }

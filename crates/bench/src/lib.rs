@@ -10,7 +10,9 @@
 
 #![warn(missing_docs)]
 
+pub mod suite;
 pub mod table;
+pub mod timing;
 pub mod workloads;
 
 use std::path::PathBuf;
@@ -29,5 +31,7 @@ pub fn results_dir() -> PathBuf {
 /// `TETRIS_QUICK=1`): sweeps then use the reduced benchmark set.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "quick" || a == "--quick")
-        || std::env::var("TETRIS_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("TETRIS_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }

@@ -1,0 +1,192 @@
+//! The engine-driven workload suite: one canonical job list shared by the
+//! `tetris bench-suite` CLI and the experiment binaries, plus a JSON report
+//! emitter (hand-rolled — the workspace carries no serde).
+
+use crate::workloads;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tetris_core::TetrisConfig;
+use tetris_engine::{Backend, CacheStats, CompileJob, JobResult};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::Hamiltonian;
+use tetris_topology::CouplingGraph;
+
+/// The named workloads of the suite: molecules (JW), synthetic UCC and the
+/// QAOA graph instances — Table I's rows, in order. `quick` restricts to
+/// the reduced sets.
+pub fn suite_workloads(quick: bool) -> Vec<(String, Arc<Hamiltonian>)> {
+    let mut out: Vec<(String, Arc<Hamiltonian>)> = Vec::new();
+    for m in workloads::molecule_set(quick) {
+        out.push((
+            format!("{}-JW", m.name()),
+            Arc::new(workloads::molecule(m, Encoding::JordanWigner)),
+        ));
+    }
+    for h in workloads::synthetic_set(quick) {
+        out.push((h.name.clone(), Arc::new(h)));
+    }
+    for h in workloads::qaoa_set(7) {
+        out.push((h.name.clone(), Arc::new(h)));
+    }
+    out
+}
+
+/// Whether a workload is QAOA-shaped (every block a single ≤2-local
+/// string), mirroring the Tetris compiler's own dispatch test — shared by
+/// [`suite_jobs`] and the `table1` binary so the two never disagree on a
+/// workload's section.
+pub fn is_qaoa_shaped(h: &Hamiltonian) -> bool {
+    h.blocks
+        .iter()
+        .all(|b| b.len() == 1 && b.active_length() <= 2)
+}
+
+/// Expands the suite workloads into engine jobs: UCC-shaped workloads get
+/// the full evaluation sweep (TKet, PCOAST, Paulihedral, Tetris,
+/// Tetris+lookahead), QAOA instances get Tetris+lookahead vs 2QAN-lite —
+/// the paper's Fig. 14 and Fig. 23 pairings.
+pub fn suite_jobs(quick: bool, graph: &Arc<CouplingGraph>) -> Vec<CompileJob> {
+    let mut jobs = Vec::new();
+    for (name, ham) in suite_workloads(quick) {
+        let backends = if is_qaoa_shaped(&ham) {
+            vec![
+                Backend::Tetris(TetrisConfig::default()),
+                Backend::Qaoa2qan { seed: 7 },
+            ]
+        } else {
+            Backend::evaluation_sweep()
+        };
+        for b in backends {
+            jobs.push(CompileJob::new(&name, b, ham.clone(), graph.clone()));
+        }
+    }
+    jobs
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One pass of a suite run, for the report.
+#[derive(Debug, Clone)]
+pub struct SuitePass {
+    /// 1-based pass number.
+    pub pass: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// The per-job results of this pass.
+    pub results: Vec<JobResult>,
+    /// Cache counters *after* this pass.
+    pub cache: CacheStats,
+}
+
+impl SuitePass {
+    /// Fraction of this pass's jobs served from the cache.
+    pub fn cached_fraction(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().filter(|r| r.cached).count() as f64 / self.results.len() as f64
+    }
+}
+
+/// Renders the full bench-suite report as pretty-printed JSON: engine
+/// sizing, then per pass the batch wall-clock, the cumulative cache
+/// counters and per-job timings and stats.
+pub fn json_report(threads: usize, passes: &[SuitePass]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"passes\": [");
+    for (pi, p) in passes.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"pass\": {},", p.pass);
+        let _ = writeln!(out, "      \"wall_seconds\": {:.6},", p.wall_seconds);
+        let _ = writeln!(out, "      \"jobs\": {},", p.results.len());
+        let _ = writeln!(
+            out,
+            "      \"cached_fraction\": {:.4},",
+            p.cached_fraction()
+        );
+        let _ = writeln!(
+            out,
+            "      \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {} }},",
+            p.cache.hits, p.cache.misses, p.cache.evictions, p.cache.entries
+        );
+        let _ = writeln!(out, "      \"results\": [");
+        for (ri, r) in p.results.iter().enumerate() {
+            let s = &r.output.stats;
+            let error = match &r.error {
+                Some(msg) => format!(" \"error\": \"{}\",", json_escape(msg)),
+                None => String::new(),
+            };
+            let _ = write!(
+                out,
+                "        {{ \"name\": \"{}\", \"compiler\": \"{}\", \"cache_key\": \"{:016x}\", \
+                 \"cached\": {},{} \"engine_seconds\": {:.6}, \"compile_seconds\": {:.6}, \
+                 \"cnots\": {}, \"swaps\": {}, \"depth\": {}, \"duration\": {}, \
+                 \"cancel_ratio\": {:.4} }}",
+                json_escape(&r.name),
+                json_escape(&r.compiler),
+                r.cache_key,
+                r.cached,
+                error,
+                r.engine_seconds,
+                s.compile_seconds,
+                s.total_cnots(),
+                s.swaps_final,
+                s.metrics.depth,
+                s.metrics.duration,
+                s.cancel_ratio(),
+            );
+            out.push_str(if ri + 1 < p.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if pi + 1 < passes.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_shape() {
+        let graph = Arc::new(CouplingGraph::heavy_hex_65());
+        let jobs = suite_jobs(true, &graph);
+        // 4 molecules × 5 + 3 synthetic × 5 + 6 QAOA × 2 = 47.
+        assert_eq!(jobs.len(), 47);
+        // Job names stay aligned with their workloads.
+        assert!(jobs.iter().any(|j| j.name == "LiH-JW"));
+        assert!(jobs.iter().any(|j| j.name.starts_with("REG3-")));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let report = json_report(4, &[]);
+        assert!(report.contains("\"threads\": 4"));
+        assert!(report.trim_end().ends_with('}'));
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

@@ -1,0 +1,32 @@
+//! Best-of-N wall-clock timing shared by the `harness = false` benches
+//! (criterion is not vendored in this offline workspace).
+
+use std::time::Instant;
+
+/// Default sample count for the bench binaries.
+pub const SAMPLES: usize = 5;
+
+/// Runs `f` `samples` times and prints the best wall-clock time under
+/// `label`. The minimum (not the mean) is reported: it is the least noisy
+/// estimator of the work's intrinsic cost on a shared machine.
+pub fn time_best_of<T>(label: &str, samples: usize, mut f: impl FnMut() -> T) {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!("{label:<32} best of {samples}: {best:.3}s");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_closure_the_requested_number_of_times() {
+        let mut calls = 0;
+        time_best_of("noop", 3, || calls += 1);
+        assert_eq!(calls, 3);
+    }
+}

@@ -36,7 +36,13 @@ impl CircuitDag {
     pub fn from_circuit(circuit: &Circuit) -> Self {
         let n = circuit.n_qubits();
         let gates: Vec<Gate> = circuit.gates().to_vec();
-        let mut links = vec![[Link { prev: NONE, next: NONE }; 2]; gates.len()];
+        let mut links = vec![
+            [Link {
+                prev: NONE,
+                next: NONE
+            }; 2];
+            gates.len()
+        ];
         let mut first = vec![NONE; n];
         let mut last = vec![NONE; n];
         for (i, g) in gates.iter().enumerate() {

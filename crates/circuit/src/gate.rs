@@ -37,8 +37,13 @@ impl Gate {
     #[inline]
     pub fn qubits(&self) -> GateQubits {
         match *self {
-            Gate::H(q) | Gate::S(q) | Gate::Sdg(q) | Gate::X(q) | Gate::Rz(q, _)
-            | Gate::Measure(q) | Gate::Reset(q) => GateQubits::One(q),
+            Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::X(q)
+            | Gate::Rz(q, _)
+            | Gate::Measure(q)
+            | Gate::Reset(q) => GateQubits::One(q),
             Gate::Cnot(a, b) | Gate::Swap(a, b) => GateQubits::Two(a, b),
         }
     }
@@ -127,8 +132,7 @@ impl Gate {
             if theirs.iter().any(|r| r == q) {
                 let ok = matches!(
                     (self.role_on(q), other.role_on(q)),
-                    (QubitRole::ZLike, QubitRole::ZLike)
-                        | (QubitRole::XLike, QubitRole::XLike)
+                    (QubitRole::ZLike, QubitRole::ZLike) | (QubitRole::XLike, QubitRole::XLike)
                 );
                 if !ok {
                     return false;

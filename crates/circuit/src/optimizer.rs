@@ -371,10 +371,7 @@ mod tests {
     #[test]
     fn basis_change_sandwich_cancels_fully() {
         // S† H … H S around nothing (a Y-basis leaf qubit between strings).
-        let (c, _) = run(
-            vec![Gate::H(0), Gate::S(0), Gate::Sdg(0), Gate::H(0)],
-            1,
-        );
+        let (c, _) = run(vec![Gate::H(0), Gate::S(0), Gate::Sdg(0), Gate::H(0)], 1);
         assert!(c.is_empty());
     }
 

@@ -120,7 +120,9 @@ mod tests {
         let q = to_qasm(&c);
         let body_lines = q
             .lines()
-            .filter(|l| !l.starts_with("OPENQASM") && !l.starts_with("include") && !l.starts_with("qreg"))
+            .filter(|l| {
+                !l.starts_with("OPENQASM") && !l.starts_with("include") && !l.starts_with("qreg")
+            })
             .count();
         assert_eq!(body_lines, 2);
     }

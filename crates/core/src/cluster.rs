@@ -204,7 +204,15 @@ mod tests {
         let mut l = Layout::trivial(8, 8);
         let mut c = Circuit::new(8);
         let mut placed = vec![false; 8];
-        let tree = gather_cluster(&g, &mut l, &mut c, &[0, 3, 7], 3, &mut placed, TreeBias::Chain);
+        let tree = gather_cluster(
+            &g,
+            &mut l,
+            &mut c,
+            &[0, 3, 7],
+            3,
+            &mut placed,
+            TreeBias::Chain,
+        );
         assert!(tree.validate(|a, b| g.are_adjacent(a, b)));
         assert_eq!(tree.root, 3);
         // All three qubits sit on contiguous nodes around 3.
@@ -224,7 +232,15 @@ mod tests {
         let mut l = Layout::trivial(6, 6);
         let mut c = Circuit::new(6);
         let mut placed = vec![false; 6];
-        let tree = gather_cluster(&g, &mut l, &mut c, &[1, 2, 3], 2, &mut placed, TreeBias::Chain);
+        let tree = gather_cluster(
+            &g,
+            &mut l,
+            &mut c,
+            &[1, 2, 3],
+            2,
+            &mut placed,
+            TreeBias::Chain,
+        );
         assert_eq!(c.swap_count(), 0);
         assert_eq!(tree.edges.len(), 2);
     }
@@ -248,7 +264,15 @@ mod tests {
         let mut placed = vec![false; 65];
         let qubits: Vec<usize> = (0..12).collect();
         let center = find_center(&g, &l, &qubits);
-        let tree = gather_cluster(&g, &mut l, &mut c, &qubits, center, &mut placed, TreeBias::Chain);
+        let tree = gather_cluster(
+            &g,
+            &mut l,
+            &mut c,
+            &qubits,
+            center,
+            &mut placed,
+            TreeBias::Chain,
+        );
         assert!(tree.validate(|a, b| g.are_adjacent(a, b)));
         assert_eq!(tree.nodes().len(), 12);
         assert!(l.is_consistent());

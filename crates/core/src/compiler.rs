@@ -80,9 +80,7 @@ impl TetrisCompiler {
         let blocks = preprocess(&ir.blocks);
 
         let initial_layout = match self.config.initial_layout {
-            crate::config::InitialLayout::Trivial => {
-                Layout::trivial(ir.n_qubits, graph.n_qubits())
-            }
+            crate::config::InitialLayout::Trivial => Layout::trivial(ir.n_qubits, graph.n_qubits()),
             crate::config::InitialLayout::Packed => Layout::packed(ir.n_qubits, graph),
         };
         let mut layout = initial_layout.clone();
@@ -117,9 +115,8 @@ impl TetrisCompiler {
                 Some(prev)
                     if b.block.terms.len() > 1
                         && prev.common_weight(&b.block.terms[0].string)
-                            < prev.common_weight(
-                                &b.block.terms[b.block.terms.len() - 1].string,
-                            ) =>
+                            < prev
+                                .common_weight(&b.block.terms[b.block.terms.len() - 1].string) =>
                 {
                     let mut terms = b.block.terms.clone();
                     terms.reverse();
@@ -259,10 +256,8 @@ mod tests {
         }
         logical_in.apply_circuit(&prep);
 
-        let mut physical = logical_in.embed(
-            &result.initial_layout.as_assignment(),
-            graph.n_qubits(),
-        );
+        let mut physical =
+            logical_in.embed(&result.initial_layout.as_assignment(), graph.n_qubits());
         physical.apply_circuit(&result.circuit);
 
         // Reference: apply the blocks exactly as emitted.
@@ -272,10 +267,7 @@ mod tests {
                 reference.apply_pauli_exp(&t.string, b.angle * t.coeff);
             }
         }
-        let expected = reference.embed(
-            &result.final_layout.as_assignment(),
-            graph.n_qubits(),
-        );
+        let expected = reference.embed(&result.final_layout.as_assignment(), graph.n_qubits());
         assert!(
             physical.equals_up_to_global_phase(&expected, 1e-8),
             "compiled circuit diverges from the exponential product"
@@ -321,9 +313,17 @@ mod tests {
     fn equivalence_input_order_scheduler() {
         let h = ham(
             4,
-            vec![vec![("ZZII", 1.0)], vec![("IZZI", 1.0)], vec![("IIZZ", 1.0)]],
+            vec![
+                vec![("ZZII", 1.0)],
+                vec![("IZZI", 1.0)],
+                vec![("IIZZ", 1.0)],
+            ],
         );
-        assert_compiled_equivalent(&h, &CouplingGraph::line(6), TetrisConfig::without_lookahead());
+        assert_compiled_equivalent(
+            &h,
+            &CouplingGraph::line(6),
+            TetrisConfig::without_lookahead(),
+        );
     }
 
     #[test]
@@ -336,8 +336,7 @@ mod tests {
     fn cancellation_happens_between_similar_strings() {
         // Fig. 3's pair: leaf chain Z₁Z₂Z₃ shared → inner CNOTs cancel.
         let h = ham(5, vec![vec![("YZZZY", 0.5), ("XZZZX", -0.5)]]);
-        let r = TetrisCompiler::new(TetrisConfig::default())
-            .compile(&h, &CouplingGraph::line(8));
+        let r = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &CouplingGraph::line(8));
         assert!(
             r.stats.canceled_cnots >= 4,
             "expected ≥ 4 canceled CNOTs, got {}",
@@ -355,8 +354,8 @@ mod tests {
                 vec![("ZZXY", 1.0), ("ZZYX", -1.0)],
             ],
         );
-        let r = TetrisCompiler::new(TetrisConfig::default())
-            .compile(&h, &CouplingGraph::grid(2, 4));
+        let r =
+            TetrisCompiler::new(TetrisConfig::default()).compile(&h, &CouplingGraph::grid(2, 4));
         let s = r.stats;
         assert_eq!(s.original_cnots, h.naive_cnot_count());
         assert!(s.emitted_cnots >= s.original_cnots);
@@ -381,8 +380,7 @@ mod tests {
         assert_compiled_equivalent(
             &h,
             &CouplingGraph::grid(3, 4),
-            TetrisConfig::default()
-                .with_initial_layout(crate::config::InitialLayout::Packed),
+            TetrisConfig::default().with_initial_layout(crate::config::InitialLayout::Packed),
         );
     }
 

@@ -119,6 +119,33 @@ impl TetrisConfig {
         self.initial_layout = layout;
         self
     }
+
+    /// A stable 64-bit content fingerprint of the configuration — the
+    /// config third of the compilation engine's cache key. Every field that
+    /// influences compilation is absorbed; equal configs hash equal on any
+    /// platform or release, and flipping any single field changes the
+    /// digest.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = tetris_pauli::fingerprint::Fingerprint64::new();
+        h.write_bytes(b"tetris-config/v1");
+        h.write_f64(self.swap_weight);
+        h.write_usize(self.lookahead);
+        h.write_u8(match self.scheduler {
+            SchedulerKind::InputOrder => 0,
+            SchedulerKind::Lookahead => 1,
+        });
+        h.write_u8(self.bridging as u8);
+        h.write_u8(self.post_optimize as u8);
+        h.write_u8(match self.tree_bias {
+            TreeBias::Chain => 0,
+            TreeBias::Balanced => 1,
+        });
+        h.write_u8(match self.initial_layout {
+            InitialLayout::Trivial => 0,
+            InitialLayout::Packed => 1,
+        });
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +159,31 @@ mod tests {
         assert_eq!(c.lookahead, 10);
         assert_eq!(c.scheduler, SchedulerKind::Lookahead);
         assert!(c.bridging);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_field() {
+        let base = TetrisConfig::default();
+        let variants = [
+            base.with_swap_weight(4.0),
+            base.with_lookahead(11),
+            TetrisConfig::without_lookahead(),
+            base.with_bridging(false),
+            TetrisConfig {
+                post_optimize: false,
+                ..base
+            },
+            base.with_tree_bias(TreeBias::Balanced),
+            base.with_initial_layout(InitialLayout::Packed),
+        ];
+        assert_eq!(base.fingerprint(), TetrisConfig::default().fingerprint());
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(
+                v.fingerprint(),
+                base.fingerprint(),
+                "variant {i} must change the fingerprint"
+            );
+        }
     }
 
     #[test]

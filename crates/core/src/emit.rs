@@ -115,9 +115,7 @@ pub fn split_uniform_groups(block: &PauliBlock) -> Vec<PauliBlock> {
     groups
         .into_iter()
         .enumerate()
-        .map(|(i, terms)| {
-            PauliBlock::new(terms, block.angle, format!("{}#g{i}", block.label))
-        })
+        .map(|(i, terms)| PauliBlock::new(terms, block.angle, format!("{}#g{i}", block.label)))
         .collect()
 }
 

@@ -91,11 +91,11 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
     let mut block_order = Vec::with_capacity(terms.len());
     let mut emitted_blocks = Vec::with_capacity(terms.len());
     let emit_term = |ti: usize,
-                         layout: &Layout,
-                         circuit: &mut Circuit,
-                         block_order: &mut Vec<usize>,
-                         emitted_blocks: &mut Vec<tetris_pauli::PauliBlock>,
-                         bridge_path: Option<&[usize]>| {
+                     layout: &Layout,
+                     circuit: &mut Circuit,
+                     block_order: &mut Vec<usize>,
+                     emitted_blocks: &mut Vec<tetris_pauli::PauliBlock>,
+                     bridge_path: Option<&[usize]>| {
         let b = &ir.blocks[terms[ti].index];
         let term = &b.block.terms[0];
         let qs = &terms[ti].qubits;
@@ -214,9 +214,7 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
                 graph.dist(pos(q[0]), pos(q[1])) < d_before
             })
             .count();
-        let interior_free = path[1..path.len() - 1]
-            .iter()
-            .all(|&p| layout.is_free(p));
+        let interior_free = path[1..path.len() - 1].iter().all(|&p| layout.is_free(p));
 
         if config.bridging && interior_free && future_helped < 2 {
             original_cnots += 2;
@@ -277,8 +275,7 @@ fn place(graph: &CouplingGraph, n_logical: usize, pairs: &[(usize, usize)], seed
             .iter()
             .map(|&(u, v)| {
                 let d =
-                    graph.dist(l.phys_of(u).expect("placed"), l.phys_of(v).expect("placed"))
-                        as u64;
+                    graph.dist(l.phys_of(u).expect("placed"), l.phys_of(v).expect("placed")) as u64;
                 2 * d
             })
             .sum()
@@ -302,7 +299,7 @@ fn place(graph: &CouplingGraph, n_logical: usize, pairs: &[(usize, usize)], seed
                 layout.swap_phys(a, b);
             }
         }
-        if overall_best.as_ref().map_or(true, |(b, _)| best < *b) {
+        if overall_best.as_ref().is_none_or(|(b, _)| best < *b) {
             overall_best = Some((best, layout));
         }
     }

@@ -85,9 +85,9 @@ mod tests {
     #[test]
     fn first_pick_maximizes_active_length() {
         let blocks = vec![
-            block(&["XYIII", "YXIII"]),          // active 2
-            block(&["XYZZZ", "YXZZZ"]),          // active 5
-            block(&["XYZZI", "YXZZI"]),          // active 4
+            block(&["XYIII", "YXIII"]), // active 2
+            block(&["XYZZZ", "YXZZZ"]), // active 5
+            block(&["XYZZI", "YXZZI"]), // active 4
         ];
         let remaining: Vec<usize> = (0..3).collect();
         assert_eq!(pick_first(&blocks, &remaining), 1);

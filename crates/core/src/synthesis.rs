@@ -48,7 +48,15 @@ pub fn synthesize_block(
 
     // 1. Root tree: cluster the root set around the center (Alg. 1 l. 4-8).
     let center = find_center(graph, layout, &block.root_set);
-    let mut tree = gather_cluster(graph, layout, out, &block.root_set, center, &mut placed, config.tree_bias);
+    let mut tree = gather_cluster(
+        graph,
+        layout,
+        out,
+        &block.root_set,
+        center,
+        &mut placed,
+        config.tree_bias,
+    );
     let root_positions: Vec<usize> = tree.nodes().to_vec();
     let is_root_node = |p: usize| root_positions.contains(&p);
 

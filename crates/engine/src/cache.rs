@@ -1,0 +1,203 @@
+//! The content-addressed result cache.
+//!
+//! Results are keyed by the 64-bit content fingerprint of the job
+//! ([`crate::CompileJob::cache_key`]): same Hamiltonian, same graph, same
+//! backend parameters → same key → the stored [`EngineOutput`] is returned
+//! without touching a compiler. Values are `Arc`-shared, so a hit costs a
+//! pointer clone regardless of circuit size.
+
+use crate::backend::EngineOutput;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cumulative cache counters. Cheap to read at any time; the engine's JSON
+/// report embeds them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that fell through to a compiler.
+    pub misses: u64,
+    /// Entries displaced after the cache reached capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when no lookup happened yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    output: Arc<EngineOutput>,
+    /// Logical timestamp of the last hit or insertion (for LRU eviction).
+    last_used: u64,
+}
+
+/// A bounded, thread-safe, content-addressed map from job fingerprints to
+/// compilation outputs with least-recently-used eviction.
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` results (a capacity of 0
+    /// disables caching: every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<EngineOutput>> {
+        let mut map = self.map.lock().expect("cache lock");
+        match map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.output.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a result under `key`, evicting the least-recently-used entry
+    /// if the cache is full. Re-inserting an existing key refreshes the
+    /// value without eviction. Returns the stored handle.
+    pub fn insert(&self, key: u64, output: EngineOutput) -> Arc<EngineOutput> {
+        let output = Arc::new(output);
+        if self.capacity == 0 {
+            return output;
+        }
+        let mut map = self.map.lock().expect("cache lock");
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            // O(n) LRU scan — capacities are small (hundreds of suite
+            // points), and an ordered structure would complicate the
+            // single-lock design for no measurable gain at this size.
+            if let Some(&victim) = map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k) {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                output: output.clone(),
+                last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        output
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_circuit::Circuit;
+    use tetris_core::CompileStats;
+
+    fn output(tag: usize) -> EngineOutput {
+        EngineOutput {
+            compiler: format!("c{tag}"),
+            circuit: Circuit::new(1),
+            stats: CompileStats {
+                original_cnots: tag,
+                ..Default::default()
+            },
+            final_layout: None,
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = ResultCache::new(8);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, output(1));
+        let hit = cache.get(1).expect("hit");
+        assert_eq!(hit.stats.original_cnots, 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, output(1));
+        cache.insert(2, output(2));
+        cache.get(1); // 2 is now least recently used
+        cache.insert(3, output(3));
+        assert!(cache.get(2).is_none(), "LRU entry evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResultCache::new(0);
+        cache.insert(1, output(1));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, output(1));
+        cache.insert(2, output(2));
+        cache.insert(1, output(10));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(1).expect("present").stats.original_cnots, 10);
+        assert!(cache.get(2).is_some());
+    }
+}

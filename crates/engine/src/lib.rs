@@ -1,0 +1,61 @@
+//! # tetris-engine
+//!
+//! The throughput layer of the Tetris workspace: a parallel
+//! batch-compilation engine with a content-addressed result cache.
+//!
+//! The one-shot compilers in `tetris-core` and `tetris-baselines` each turn
+//! a single (Hamiltonian, coupling graph, configuration) point into a
+//! circuit. Evaluation suites and services need thousands of such points —
+//! molecule sweeps × topologies × compiler configurations — and most of
+//! them repeat across runs. This crate adds the two missing production
+//! pieces:
+//!
+//! * **A fixed worker pool** ([`Engine`]) built on `std::thread` + `mpsc`
+//!   channels: a batch of [`CompileJob`]s is fanned out over N workers and
+//!   the results are returned in submission order. Compilation is pure, so
+//!   a parallel batch is bit-identical to a serial one.
+//! * **A content-addressed cache** ([`cache::ResultCache`]) keyed by a
+//!   stable 64-bit fingerprint of the job's semantic content
+//!   ([`CompileJob::cache_key`]): repeated points are served from memory
+//!   instead of the compiler, with hit/miss/eviction accounting.
+//! * **A pluggable backend** ([`Backend`]) putting the Tetris compiler and
+//!   every baseline (`paulihedral`, `max_cancel`, `pcoast_like`, `generic`,
+//!   `qaoa_2qan`) behind one [`CompileBackend`] trait, so a single batch
+//!   can sweep compilers like-for-like.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tetris_engine::{Backend, CompileJob, Engine, EngineConfig};
+//! use tetris_pauli::molecules::Molecule;
+//! use tetris_pauli::encoder::Encoding;
+//! use tetris_topology::CouplingGraph;
+//! use tetris_core::TetrisConfig;
+//!
+//! let engine = Engine::new(EngineConfig { threads: 2, cache_capacity: 256 });
+//! let ham = Arc::new(Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner));
+//! let graph = Arc::new(CouplingGraph::heavy_hex_65());
+//! let jobs: Vec<CompileJob> = [
+//!     Backend::Tetris(TetrisConfig::default()),
+//!     Backend::Paulihedral { post_optimize: true },
+//! ]
+//! .into_iter()
+//! .map(|b| CompileJob::new("LiH", b, ham.clone(), graph.clone()))
+//! .collect();
+//! let results = engine.compile_batch(jobs.clone());
+//! assert_eq!(results.len(), 2);
+//! // A second submission of the same batch is served from the cache.
+//! let again = engine.compile_batch(jobs);
+//! assert!(again.iter().all(|r| r.cached));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod cache;
+pub mod job;
+pub mod pool;
+
+pub use backend::{Backend, CompileBackend, EngineOutput};
+pub use cache::{CacheStats, ResultCache};
+pub use job::{CompileJob, JobResult};
+pub use pool::{Engine, EngineConfig};

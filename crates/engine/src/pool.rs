@@ -1,0 +1,377 @@
+//! The fixed worker pool.
+//!
+//! `Engine::new` spawns N OS threads that live for the engine's lifetime
+//! and pull work from a single `mpsc` queue (shared behind a mutex — the
+//! classic std-only job-queue shape). `compile_batch` fans a batch out to
+//! the queue and reassembles the answers in submission order; each worker
+//! consults the shared [`ResultCache`] before touching a compiler.
+
+use crate::backend::{CompileBackend, EngineOutput};
+use crate::cache::{CacheStats, ResultCache};
+use crate::job::{CompileJob, JobResult};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads. Clamped to ≥ 1.
+    pub threads: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    /// One worker per available core, and room for a full evaluation suite
+    /// (6 molecules × 2 encoders × 2 devices × 7 backends ≈ 170 points)
+    /// several times over.
+    fn default() -> Self {
+        EngineConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+struct WorkItem {
+    index: usize,
+    /// Precomputed [`CompileJob::cache_key`] — fingerprinting hashes the
+    /// full Hamiltonian content, so it is computed once at submission and
+    /// carried along rather than recomputed in the worker.
+    key: u64,
+    job: CompileJob,
+    reply: Sender<JobResult>,
+}
+
+/// Runs a job, converting a backend panic (e.g. a workload wider than the
+/// device tripping a compiler assert) into an error message instead of
+/// unwinding the worker thread.
+fn run_guarded(job: &CompileJob) -> Result<EngineOutput, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run())).map_err(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("backend panicked")
+            .to_string()
+    })
+}
+
+/// The placeholder output attached to a failed job so [`JobResult`] keeps a
+/// uniform shape; [`JobResult::error`] carries the actual failure.
+fn failed_output(job: &CompileJob) -> EngineOutput {
+    EngineOutput {
+        compiler: job.backend.name().to_string(),
+        circuit: tetris_circuit::Circuit::new(0),
+        stats: Default::default(),
+        final_layout: None,
+    }
+}
+
+/// The batch-compilation engine: a fixed worker pool plus a shared
+/// content-addressed result cache. See the crate docs for an example.
+#[derive(Debug)]
+pub struct Engine {
+    cache: Arc<ResultCache>,
+    queue: Option<Sender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Engine {
+    /// Spawns the worker pool.
+    pub fn new(config: EngineConfig) -> Self {
+        let threads = config.threads.max(1);
+        let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        let (tx, rx) = channel::<WorkItem>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || worker_loop(&rx, &cache))
+            })
+            .collect();
+        Engine {
+            cache,
+            queue: Some(tx),
+            workers,
+            threads,
+        }
+    }
+
+    /// An engine with default sizing.
+    pub fn with_default_config() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Compiles a batch, returning one [`JobResult`] per job in submission
+    /// order.
+    ///
+    /// Jobs are independent, so the batch saturates all workers; because
+    /// every backend is pure, the results are bit-identical to compiling
+    /// the same jobs serially (modulo wall-clock fields). Duplicate jobs
+    /// inside one batch (equal [`CompileJob::cache_key`]) are coalesced:
+    /// the first occurrence compiles, the rest are served as cache hits —
+    /// the same guarantee the cache gives across batches, without racing
+    /// two workers on identical work.
+    pub fn compile_batch(&self, jobs: Vec<CompileJob>) -> Vec<JobResult> {
+        let queue = self
+            .queue
+            .as_ref()
+            .expect("engine queue alive until drop")
+            .clone();
+        let (reply_tx, reply_rx) = channel::<JobResult>();
+
+        // Coalesce duplicates: first occurrence of each key is submitted,
+        // later ones are resolved from the cache after it lands.
+        let mut first_of_key: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        let mut duplicates: Vec<(usize, u64, CompileJob)> = Vec::new();
+        let mut submitted = 0usize;
+        for (index, job) in jobs.into_iter().enumerate() {
+            let key = job.cache_key();
+            match first_of_key.entry(key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(index);
+                    queue
+                        .send(WorkItem {
+                            index,
+                            key,
+                            job,
+                            reply: reply_tx.clone(),
+                        })
+                        .expect("workers alive until drop");
+                    submitted += 1;
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    duplicates.push((index, key, job));
+                }
+            }
+        }
+        drop(reply_tx);
+
+        let total = submitted + duplicates.len();
+        let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
+        for _ in 0..submitted {
+            let r = reply_rx.recv().expect("worker delivers every job");
+            let index = r.index;
+            slots[index] = Some(r);
+        }
+        for (index, key, job) in duplicates {
+            let t0 = Instant::now();
+            let (output, cached, error) = match self.cache.get(key) {
+                Some(hit) => (hit, true, None),
+                None => {
+                    // Cache too small to retain the first occurrence (or
+                    // capacity 0, or the first occurrence failed): fall
+                    // back to compiling in place.
+                    match run_guarded(&job) {
+                        Ok(fresh) => (self.cache.insert(key, fresh), false, None),
+                        Err(msg) => (Arc::new(failed_output(&job)), false, Some(msg)),
+                    }
+                }
+            };
+            slots[index] = Some(JobResult {
+                index,
+                name: job.name,
+                compiler: job.backend.name().to_string(),
+                cache_key: key,
+                cached,
+                engine_seconds: t0.elapsed().as_secs_f64(),
+                error,
+                output,
+            });
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's recv loop.
+        drop(self.queue.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<WorkItem>>, cache: &ResultCache) {
+    loop {
+        // Hold the lock only for the dequeue, not the compile.
+        let item = match rx.lock().expect("queue lock").recv() {
+            Ok(item) => item,
+            Err(_) => return, // engine dropped
+        };
+        let t0 = Instant::now();
+        let key = item.key;
+        let (output, cached, error) = match cache.get(key) {
+            Some(hit) => (hit, true, None),
+            None => match run_guarded(&item.job) {
+                Ok(fresh) => (cache.insert(key, fresh), false, None),
+                // Failures are reported, not cached: a panic may be
+                // environmental, and a placeholder must never satisfy a
+                // later lookup of the same content.
+                Err(msg) => (Arc::new(failed_output(&item.job)), false, Some(msg)),
+            },
+        };
+        let result = JobResult {
+            index: item.index,
+            name: item.job.name,
+            compiler: item.job.backend.name().to_string(),
+            cache_key: key,
+            cached,
+            engine_seconds: t0.elapsed().as_secs_f64(),
+            error,
+            output,
+        };
+        // The batch may have been abandoned; dropping the result is fine.
+        let _ = item.reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use std::sync::Arc;
+    use tetris_core::TetrisConfig;
+    use tetris_pauli::{Hamiltonian, PauliBlock, PauliTerm};
+    use tetris_topology::CouplingGraph;
+
+    fn toy_jobs(n: usize) -> Vec<CompileJob> {
+        let graph = Arc::new(CouplingGraph::line(8));
+        (0..n)
+            .map(|i| {
+                let s = if i % 2 == 0 { "YZZZY" } else { "XZZZX" };
+                let ham = Arc::new(Hamiltonian::new(
+                    5,
+                    vec![PauliBlock::new(
+                        vec![PauliTerm::new(s.parse().unwrap(), 1.0)],
+                        0.1 + i as f64 * 0.05,
+                        "b",
+                    )],
+                    format!("toy{i}"),
+                ));
+                CompileJob::new(
+                    format!("toy{i}"),
+                    Backend::Tetris(TetrisConfig::default()),
+                    ham,
+                    graph.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            cache_capacity: 64,
+        });
+        let results = engine.compile_batch(toy_jobs(12));
+        assert_eq!(results.len(), 12);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.name, format!("toy{i}"));
+        }
+    }
+
+    #[test]
+    fn duplicate_jobs_in_one_batch_are_coalesced() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            cache_capacity: 64,
+        });
+        let mut jobs = toy_jobs(2);
+        jobs.extend(toy_jobs(2)); // same content again
+        let results = engine.compile_batch(jobs);
+        assert_eq!(results.iter().filter(|r| !r.cached).count(), 2);
+        assert_eq!(results.iter().filter(|r| r.cached).count(), 2);
+        assert_eq!(
+            results[0].output.stats_digest(),
+            results[2].output.stats_digest()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_answers_duplicates() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            cache_capacity: 0,
+        });
+        let mut jobs = toy_jobs(1);
+        jobs.extend(toy_jobs(1));
+        let results = engine.compile_batch(jobs);
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].output.stats_digest(),
+            results[1].output.stats_digest()
+        );
+    }
+
+    #[test]
+    fn panicking_backend_is_reported_not_fatal() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            cache_capacity: 8,
+        });
+        // 5 logical qubits on a 3-qubit device trips the compiler's width
+        // assert — the classic bad-request shape a service must survive.
+        let wide = CompileJob::new(
+            "too-wide",
+            Backend::Tetris(TetrisConfig::default()),
+            Arc::new(Hamiltonian::new(
+                5,
+                vec![PauliBlock::new(
+                    vec![PauliTerm::new("ZZZZZ".parse().unwrap(), 1.0)],
+                    0.3,
+                    "b",
+                )],
+                "wide",
+            )),
+            Arc::new(CouplingGraph::line(3)),
+        );
+        let mut jobs = toy_jobs(2);
+        jobs.insert(1, wide);
+        let results = engine.compile_batch(jobs);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].error.is_none());
+        let err = results[1].error.as_ref().expect("panic surfaced as error");
+        assert!(err.contains("exceed"), "assert message propagates: {err}");
+        assert!(!results[1].cached, "failures are never cache hits");
+        assert!(results[2].error.is_none(), "other jobs unaffected");
+        // The pool survives: a follow-up batch on the same engine works,
+        // and the failure was not cached.
+        let again = engine.compile_batch(toy_jobs(2));
+        assert!(again.iter().all(|r| r.error.is_none() && r.cached));
+    }
+
+    #[test]
+    fn engine_shuts_down_cleanly() {
+        let engine = Engine::new(EngineConfig {
+            threads: 3,
+            cache_capacity: 8,
+        });
+        let _ = engine.compile_batch(toy_jobs(3));
+        drop(engine); // must not hang or panic
+    }
+}

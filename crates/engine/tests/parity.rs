@@ -1,0 +1,103 @@
+//! Engine acceptance tests: parallel == serial, and repeats hit the cache.
+
+use std::sync::Arc;
+use tetris_core::TetrisConfig;
+use tetris_engine::{Backend, CompileJob, Engine, EngineConfig};
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::molecules::Molecule;
+use tetris_topology::CouplingGraph;
+
+/// The quick molecule set × {Tetris, Tetris+lookahead, Paulihedral} on
+/// heavy-hex — the same sweep `tetris bench-suite --quick` drives.
+fn quick_suite() -> Vec<CompileJob> {
+    let graph = Arc::new(CouplingGraph::heavy_hex_65());
+    let backends = [
+        Backend::Tetris(TetrisConfig::default()),
+        Backend::Tetris(TetrisConfig::without_lookahead()),
+        Backend::Paulihedral {
+            post_optimize: true,
+        },
+    ];
+    Molecule::SMALL
+        .into_iter()
+        .flat_map(|m| {
+            let ham = Arc::new(m.uccsd_hamiltonian(Encoding::JordanWigner));
+            let graph = graph.clone();
+            backends.into_iter().map(move |b| {
+                CompileJob::new(format!("{}-JW", m.name()), b, ham.clone(), graph.clone())
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_batch_matches_serial_compilation_bit_for_bit() {
+    let jobs = quick_suite();
+
+    // Serial reference: same jobs, caller thread, no pool, no cache.
+    let serial: Vec<u64> = jobs.iter().map(|j| j.run().stats_digest()).collect();
+
+    let engine = Engine::new(EngineConfig {
+        threads: 4,
+        cache_capacity: 256,
+    });
+    let parallel = engine.compile_batch(jobs);
+
+    assert_eq!(parallel.len(), serial.len());
+    for (r, expected) in parallel.iter().zip(&serial) {
+        assert!(!r.cached, "first run of {} must compile", r.name);
+        assert_eq!(
+            r.output.stats_digest(),
+            *expected,
+            "{} via {}: parallel output diverged from serial",
+            r.name,
+            r.compiler
+        );
+    }
+}
+
+#[test]
+fn repeated_batch_is_served_entirely_from_cache() {
+    let engine = Engine::new(EngineConfig {
+        threads: 4,
+        cache_capacity: 256,
+    });
+    let first = engine.compile_batch(quick_suite());
+    let misses_after_first = engine.cache_stats().misses;
+    assert!(first.iter().all(|r| !r.cached));
+
+    let second = engine.compile_batch(quick_suite());
+    assert!(
+        second.iter().all(|r| r.cached),
+        "every repeated job must hit"
+    );
+    assert_eq!(
+        engine.cache_stats().misses,
+        misses_after_first,
+        "no new compiler runs on the repeat"
+    );
+    assert_eq!(engine.cache_stats().hits, second.len() as u64);
+
+    for (a, b) in first.iter().zip(&second) {
+        // Identical results — in fact the very same allocation.
+        assert!(Arc::ptr_eq(&a.output, &b.output));
+        assert_eq!(a.cache_key, b.cache_key);
+    }
+}
+
+#[test]
+fn single_thread_and_many_thread_engines_agree() {
+    let one = Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 64,
+    });
+    let many = Engine::new(EngineConfig {
+        threads: 8,
+        cache_capacity: 64,
+    });
+    let a = one.compile_batch(quick_suite());
+    let b = many.compile_batch(quick_suite());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.output.stats_digest(), y.output.stats_digest());
+    }
+}

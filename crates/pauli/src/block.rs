@@ -159,6 +159,18 @@ impl Hamiltonian {
     pub fn terms(&self) -> impl Iterator<Item = &PauliTerm> {
         self.blocks.iter().flat_map(|b| b.terms.iter())
     }
+
+    /// A stable 64-bit content fingerprint, equal to the fingerprint of the
+    /// lowered [`crate::ir::TetrisIr`] (lowering is deterministic and adds
+    /// only derived annotations). Workload name and block labels are
+    /// excluded; everything compilation depends on — width, block order,
+    /// angles, coefficients, operator strings — is covered.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fingerprint64::new();
+        h.write_bytes(b"tetris-ir/v1");
+        crate::ir::hash_semantic_content(&mut h, self.n_qubits, self.blocks.iter());
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -45,8 +45,7 @@ impl Encoding {
         let odd = k % 2 == 1;
         match self {
             Encoding::JordanWigner => {
-                let mut sites: Vec<(usize, PauliOp)> =
-                    (0..j).map(|q| (q, PauliOp::Z)).collect();
+                let mut sites: Vec<(usize, PauliOp)> = (0..j).map(|q| (q, PauliOp::Z)).collect();
                 sites.push((j, if odd { PauliOp::Y } else { PauliOp::X }));
                 PauliString::from_sparse(n_modes, &sites)
             }
@@ -60,7 +59,7 @@ impl Encoding {
                     // remainder set: parity \ flip for odd modes, parity for
                     // even modes; `j` odd/even here refers to the *mode*
                     // index parity per Seeley-Richard-Love.
-                    let rho = if j % 2 == 0 {
+                    let rho = if j.is_multiple_of(2) {
                         parity_set(j)
                     } else {
                         remainder_set(j)
@@ -183,22 +182,10 @@ mod tests {
     #[test]
     fn jw_majoranas_are_z_chains() {
         let n = 4;
-        assert_eq!(
-            Encoding::JordanWigner.majorana(n, 0).to_string(),
-            "XIII"
-        );
-        assert_eq!(
-            Encoding::JordanWigner.majorana(n, 1).to_string(),
-            "YIII"
-        );
-        assert_eq!(
-            Encoding::JordanWigner.majorana(n, 6).to_string(),
-            "ZZZX"
-        );
-        assert_eq!(
-            Encoding::JordanWigner.majorana(n, 7).to_string(),
-            "ZZZY"
-        );
+        assert_eq!(Encoding::JordanWigner.majorana(n, 0).to_string(), "XIII");
+        assert_eq!(Encoding::JordanWigner.majorana(n, 1).to_string(), "YIII");
+        assert_eq!(Encoding::JordanWigner.majorana(n, 6).to_string(), "ZZZX");
+        assert_eq!(Encoding::JordanWigner.majorana(n, 7).to_string(), "ZZZY");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! tuning spectrum (§IV-B2).
 
 use crate::block::{Hamiltonian, PauliBlock};
+use crate::fingerprint::Fingerprint64;
 use crate::op::PauliOp;
 use std::fmt;
 
@@ -35,8 +36,8 @@ impl TetrisBlock {
         let mut leaf_set = Vec::new();
         for &q in &support {
             let first = block.terms[0].string.op(q);
-            let common = !first.is_identity()
-                && block.terms.iter().all(|t| t.string.op(q) == first);
+            let common =
+                !first.is_identity() && block.terms.iter().all(|t| t.string.op(q) == first);
             if common {
                 leaf_set.push(q);
             } else {
@@ -77,7 +78,10 @@ impl TetrisBlock {
 
     /// Leaf-section entries as `(qubit, op)` pairs.
     pub fn leaf_section(&self) -> Vec<(usize, PauliOp)> {
-        self.leaf_set.iter().map(|&q| (q, self.leaf_op(q))).collect()
+        self.leaf_set
+            .iter()
+            .map(|&q| (q, self.leaf_op(q)))
+            .collect()
     }
 
     /// The paper's block similarity (Eq. 1):
@@ -157,6 +161,47 @@ impl TetrisIr {
     pub fn pauli_string_count(&self) -> usize {
         self.blocks.iter().map(|b| b.n_strings()).sum()
     }
+
+    /// A stable 64-bit content fingerprint of the IR — the Hamiltonian half
+    /// of the engine's cache key.
+    ///
+    /// Covers everything compilation depends on: register width, block
+    /// order, per-block rotation angle, and each term's coefficient and
+    /// operator string. Deliberately excludes the workload [`name`] and
+    /// block labels, which are presentation-only: renaming a workload must
+    /// still hit the cache. Equal IRs (modulo names) hash equal on every
+    /// platform and release; see [`crate::fingerprint`].
+    ///
+    /// [`name`]: TetrisIr::name
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fingerprint64::new();
+        h.write_bytes(b"tetris-ir/v1");
+        hash_semantic_content(&mut h, self.n_qubits, self.blocks.iter().map(|b| &b.block));
+        h.finish()
+    }
+}
+
+/// Absorbs the compilation-relevant content of a block sequence (shared by
+/// [`TetrisIr::fingerprint`] and [`Hamiltonian::fingerprint`], which must
+/// agree for lowered-vs-unlowered forms of the same workload — the root and
+/// leaf sets are derived data, so hashing the blocks alone is exhaustive).
+pub(crate) fn hash_semantic_content<'a>(
+    h: &mut Fingerprint64,
+    n_qubits: usize,
+    blocks: impl Iterator<Item = &'a PauliBlock>,
+) {
+    h.write_usize(n_qubits);
+    for b in blocks {
+        h.write_u8(b'B');
+        h.write_f64(b.angle);
+        h.write_usize(b.terms.len());
+        for t in &b.terms {
+            h.write_f64(t.coeff);
+            for op in t.string.ops() {
+                h.write_u8(op.to_char() as u8);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +265,73 @@ mod tests {
         assert!(text.contains("YXzzz"), "{text}");
         // middle strings drop the common section
         assert!(text.contains("\n  XX,\n"), "{text}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_name_blind() {
+        let h = |name: &str| {
+            Hamiltonian::new(5, vec![block(&["XYZZZ", "YXZZZ"]), block(&["IIZZI"])], name)
+        };
+        let a = TetrisIr::from_hamiltonian(&h("toy"));
+        let b = TetrisIr::from_hamiltonian(&h("renamed"));
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "workload names are presentation-only"
+        );
+        // The unlowered Hamiltonian agrees with its lowered IR.
+        assert_eq!(h("toy").fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_every_semantic_mutation() {
+        let base = Hamiltonian::new(
+            5,
+            vec![block(&["XYZZZ", "YXZZZ"]), block(&["IIZZI"])],
+            "toy",
+        );
+        let fp = base.fingerprint();
+
+        // Mutate one Pauli operator.
+        let mut m = base.clone();
+        m.blocks[0].terms[1].string.set_op(4, PauliOp::Y);
+        assert_ne!(m.fingerprint(), fp, "operator change must rekey");
+
+        // Mutate one coefficient.
+        let mut m = base.clone();
+        m.blocks[0].terms[0].coeff += 1e-9;
+        assert_ne!(m.fingerprint(), fp, "coefficient change must rekey");
+
+        // Mutate one block angle.
+        let mut m = base.clone();
+        m.blocks[1].angle *= 2.0;
+        assert_ne!(m.fingerprint(), fp, "angle change must rekey");
+
+        // Swap block order.
+        let mut m = base.clone();
+        m.blocks.reverse();
+        assert_ne!(m.fingerprint(), fp, "block order is semantic");
+
+        // Widen the register.
+        let wide = Hamiltonian::new(
+            6,
+            base.blocks
+                .iter()
+                .map(|b| {
+                    PauliBlock::new(
+                        b.terms
+                            .iter()
+                            .map(|t| PauliTerm::new(t.string.padded_to(6), t.coeff))
+                            .collect(),
+                        b.angle,
+                        b.label.clone(),
+                    )
+                })
+                .collect(),
+            "toy",
+        );
+        assert_ne!(wide.fingerprint(), fp, "register width is semantic");
     }
 
     #[test]

@@ -29,12 +29,14 @@ pub mod block;
 pub mod complex;
 pub mod encoder;
 pub mod fermion;
+pub mod fingerprint;
 pub mod ir;
 pub mod ir_recursive;
 pub mod molecules;
 pub mod op;
 pub mod phase;
 pub mod qaoa;
+pub mod rng;
 pub mod string;
 pub mod trotter;
 pub mod uccsd;

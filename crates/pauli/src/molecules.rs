@@ -42,12 +42,7 @@ impl Molecule {
 
     /// The four smallest molecules (used by Figs. 14/15 where the large two
     /// exceed the baselines' compile budget).
-    pub const SMALL: [Molecule; 4] = [
-        Molecule::LiH,
-        Molecule::BeH2,
-        Molecule::CH4,
-        Molecule::MgH2,
-    ];
+    pub const SMALL: [Molecule; 4] = [Molecule::LiH, Molecule::BeH2, Molecule::CH4, Molecule::MgH2];
 
     /// Benchmark name as printed in the paper.
     pub fn name(self) -> &'static str {

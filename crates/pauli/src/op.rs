@@ -66,6 +66,7 @@ impl PauliOp {
     /// The phase exponent follows the Levi-Civita convention:
     /// `X·Y = iZ`, `Y·Z = iX`, `Z·X = iY` (and conjugates for the swapped
     /// order).
+    #[allow(clippy::should_implement_trait)] // returns a (phase, op) pair, not `Self`
     pub fn mul(self, other: PauliOp) -> (Phase, PauliOp) {
         let result = PauliOp::from_bits(self.x_bit() ^ other.x_bit(), self.z_bit() ^ other.z_bit());
         let phase = match (self, other) {

@@ -69,6 +69,7 @@ impl Phase {
 impl Mul for Phase {
     type Output = Phase;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // i^a · i^b = i^(a+b)
     fn mul(self, rhs: Phase) -> Phase {
         Phase::from_exponent(self as i64 + rhs as i64)
     }

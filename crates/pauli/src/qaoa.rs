@@ -7,9 +7,9 @@
 
 use crate::block::{Hamiltonian, PauliBlock, PauliTerm};
 use crate::op::PauliOp;
+use crate::rng::rngs::StdRng;
+use crate::rng::{Rng, SeedableRng};
 use crate::string::PauliString;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// An undirected simple graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,12 +62,12 @@ impl Graph {
     /// # Panics
     /// Panics if `n·d` is odd or `d ≥ n`.
     pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
-        assert!(n * d % 2 == 0, "n·d must be even");
+        assert!((n * d).is_multiple_of(2), "n·d must be even");
         assert!(d < n, "degree must be below n");
         let mut rng = StdRng::seed_from_u64(seed);
         'outer: loop {
             // Stubs: each vertex appears d times; random perfect matching.
-            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+            let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
             // Fisher-Yates shuffle.
             for i in (1..stubs.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -228,6 +228,9 @@ mod tests {
         assert_eq!(mix.terms[0].string.weight(), 1);
         assert!((mix.angle - 1.8).abs() < 1e-12);
         // Everything remains 2-local single-string.
-        assert!(h.blocks.iter().all(|b| b.len() == 1 && b.active_length() <= 2));
+        assert!(h
+            .blocks
+            .iter()
+            .all(|b| b.len() == 1 && b.active_length() <= 2));
     }
 }

@@ -66,16 +66,8 @@ mod tests {
         Hamiltonian::new(
             3,
             vec![
-                PauliBlock::new(
-                    vec![PauliTerm::new("XZY".parse().unwrap(), 1.0)],
-                    0.8,
-                    "a",
-                ),
-                PauliBlock::new(
-                    vec![PauliTerm::new("ZZI".parse().unwrap(), 1.0)],
-                    0.4,
-                    "b",
-                ),
+                PauliBlock::new(vec![PauliTerm::new("XZY".parse().unwrap(), 1.0)], 0.8, "a"),
+                PauliBlock::new(vec![PauliTerm::new("ZZI".parse().unwrap(), 1.0)], 0.4, "b"),
             ],
             "toy",
         )

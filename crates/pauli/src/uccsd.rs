@@ -15,8 +15,8 @@
 use crate::block::{Hamiltonian, PauliBlock};
 use crate::encoder::Encoding;
 use crate::fermion::{double_excitation, single_excitation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::rngs::StdRng;
+use crate::rng::{Rng, SeedableRng};
 
 /// A UCCSD excitation operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,7 +76,7 @@ impl UccsdAnsatz {
     pub fn new(n_spin_orbitals: usize, n_electrons: usize) -> Self {
         assert!(n_electrons > 0 && n_electrons < n_spin_orbitals);
         assert!(
-            n_spin_orbitals % 2 == 0 && n_electrons % 2 == 0,
+            n_spin_orbitals.is_multiple_of(2) && n_electrons.is_multiple_of(2),
             "closed-shell reference requires even electron / orbital counts"
         );
         UccsdAnsatz {

@@ -272,8 +272,8 @@ fn two_qubits(g: &Gate) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tetris_pauli::rng::rngs::StdRng;
+    use tetris_pauli::rng::{Rng, SeedableRng};
     use tetris_sim::Statevector;
 
     fn random_logical(n: usize, len: usize, seed: u64) -> Circuit {
@@ -310,10 +310,7 @@ mod tests {
 
         let mut reference = input;
         reference.apply_circuit(logical);
-        let expected = reference.embed(
-            &routed.final_layout.as_assignment(),
-            graph.n_qubits(),
-        );
+        let expected = reference.embed(&routed.final_layout.as_assignment(), graph.n_qubits());
         assert!(
             physical.equals_up_to_global_phase(&expected, 1e-9),
             "routed circuit is not equivalent"

@@ -13,9 +13,9 @@
 //! refinement is unnecessary because VQA ansatz circuits here are
 //! measurement-free.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tetris_circuit::{Circuit, Gate};
+use tetris_pauli::rng::rngs::StdRng;
+use tetris_pauli::rng::{Rng, SeedableRng};
 
 /// A depolarizing noise model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,11 +109,7 @@ impl NoiseModel {
         let mut rng = StdRng::seed_from_u64(seed);
         // Precompute per-gate error rates of circuit + inverse (same set,
         // twice).
-        let errs: Vec<f64> = circuit
-            .gates()
-            .iter()
-            .map(|g| self.gate_error(g))
-            .collect();
+        let errs: Vec<f64> = circuit.gates().iter().map(|g| self.gate_error(g)).collect();
         let mut samples = Vec::with_capacity(n_batches);
         for _ in 0..n_batches {
             let mut ok = 0usize;
@@ -168,9 +164,7 @@ mod tests {
         let mut swap = Circuit::new(2);
         swap.push(Gate::Swap(0, 1));
         let three = circuit(3, 0);
-        assert!(
-            (nm.analytic_fidelity(&swap) - nm.analytic_fidelity(&three)).abs() < 1e-12
-        );
+        assert!((nm.analytic_fidelity(&swap) - nm.analytic_fidelity(&three)).abs() < 1e-12);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Dense statevector simulation (little-endian: bit `q` of a basis index is
 //! qubit `q`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tetris_circuit::{Circuit, Gate};
-use tetris_pauli::{C64, PauliOp, PauliString};
+use tetris_pauli::rng::rngs::StdRng;
+use tetris_pauli::rng::{Rng, SeedableRng};
+use tetris_pauli::{PauliOp, PauliString, C64};
 
 /// A dense `2^n` statevector.
 #[derive(Debug, Clone, PartialEq)]
@@ -181,7 +181,11 @@ impl Statevector {
                     PauliOp::Y => {
                         j ^= 1 << q;
                         // Y|0> = i|1>, Y|1> = -i|0>
-                        phase *= if bit == 0 { C64::i() } else { C64::new(0.0, -1.0) };
+                        phase *= if bit == 0 {
+                            C64::i()
+                        } else {
+                            C64::new(0.0, -1.0)
+                        };
                     }
                     PauliOp::Z => {
                         if bit == 1 {

@@ -102,6 +102,33 @@ impl CouplingGraph {
         self.dist[u * self.n + v]
     }
 
+    /// A stable 64-bit content fingerprint of the topology — the device
+    /// half of the compilation engine's cache key.
+    ///
+    /// Covers the qubit count and the (sorted, deduplicated) edge list via
+    /// FNV-1a; the device [`name`](CouplingGraph::name) is presentation-only
+    /// and excluded, so two identically-wired devices hash equal regardless
+    /// of label. Stable across platforms and releases by construction.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut state = FNV_OFFSET;
+        let mut absorb = |v: u64| {
+            for b in v.to_le_bytes() {
+                state ^= b as u64;
+                state = state.wrapping_mul(FNV_PRIME);
+            }
+        };
+        absorb(self.n as u64);
+        // Adjacency lists are sorted at construction, so this iteration
+        // order is canonical for the edge set.
+        for (u, v) in self.edges() {
+            absorb(u as u64);
+            absorb(v as u64);
+        }
+        state
+    }
+
     /// Edge list with `u < v`.
     pub fn edges(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
@@ -125,8 +152,7 @@ impl CouplingGraph {
         let mut path = vec![u];
         let mut cur = u;
         while cur != v {
-            let next = *self
-                .adj[cur]
+            let next = *self.adj[cur]
                 .iter()
                 .find(|&&w| self.dist(w, v) < self.dist(cur, v))
                 .expect("distance decreases along a shortest path");
@@ -221,7 +247,10 @@ impl CouplingGraph {
     /// Panics unless `rows ≥ 2` and `cols ≥ 10` (the attachment columns
     /// {0,4,8}/{1,5,9} must exist).
     pub fn heavy_hex(rows: usize, cols: usize) -> Self {
-        assert!(rows >= 2 && cols >= 10, "heavy-hex needs ≥ 2 rows × 10 cols");
+        assert!(
+            rows >= 2 && cols >= 10,
+            "heavy-hex needs ≥ 2 rows × 10 cols"
+        );
         let row_base = |r: usize| r * (cols + 3);
         let mut edges = Vec::new();
         for r in 0..rows {
@@ -426,7 +455,9 @@ mod tests {
         let p = g.shortest_path_avoiding(0, 2, |v| v == 1).unwrap();
         assert_eq!(p, vec![0, 5, 4, 3, 2]);
         // blocking everything disconnects.
-        assert!(g.shortest_path_avoiding(0, 3, |v| v == 1 || v == 5).is_none());
+        assert!(g
+            .shortest_path_avoiding(0, 3, |v| v == 1 || v == 5)
+            .is_none());
     }
 
     #[test]
@@ -451,5 +482,26 @@ mod tests {
                 assert!(g.are_adjacent(w[0], w[1]));
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_is_structural_not_nominal() {
+        // Same wiring, different names → same fingerprint.
+        let a = CouplingGraph::from_edges(3, [(0, 1), (1, 2)], "alpha");
+        let b = CouplingGraph::from_edges(3, [(1, 2), (0, 1)], "beta");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different wiring or width → different fingerprint.
+        assert_ne!(
+            CouplingGraph::line(5).fingerprint(),
+            CouplingGraph::ring(5).fingerprint()
+        );
+        assert_ne!(
+            CouplingGraph::line(5).fingerprint(),
+            CouplingGraph::line(6).fingerprint()
+        );
+        assert_ne!(
+            CouplingGraph::heavy_hex_65().fingerprint(),
+            CouplingGraph::sycamore_64().fingerprint()
+        );
     }
 }

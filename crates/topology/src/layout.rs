@@ -34,8 +34,8 @@ impl Layout {
             "cannot place {n_logical} logical qubits on {n_physical} physical"
         );
         let mut phys2log = vec![None; n_physical];
-        for q in 0..n_logical {
-            phys2log[q] = Some(q);
+        for (q, slot) in phys2log.iter_mut().enumerate().take(n_logical) {
+            *slot = Some(q);
         }
         Layout {
             log2phys: (0..n_logical).map(Some).collect(),
@@ -222,10 +222,7 @@ mod tests {
         for q in 0..12 {
             let p = l.phys_of(q).unwrap();
             assert!(
-                q == 0
-                    || g.neighbors(p)
-                        .iter()
-                        .any(|&m| l.logical_at(m).is_some()),
+                q == 0 || g.neighbors(p).iter().any(|&m| l.logical_at(m).is_some()),
                 "qubit {q} isolated"
             );
         }

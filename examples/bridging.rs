@@ -24,10 +24,7 @@ fn workload() -> Hamiltonian {
     };
     Hamiltonian::new(
         6,
-        vec![
-            block("ZZIZII", "ps1"),
-            block("IIIZIZ", "ps2"),
-        ],
+        vec![block("ZZIZII", "ps1"), block("IIIZIZ", "ps2")],
         "fig9",
     )
 }

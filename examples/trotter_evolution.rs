@@ -21,7 +21,10 @@ fn main() {
     //    count, but cross-step block scheduling keeps cancellation alive.
     let lih = Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner);
     println!("LiH UCCSD, first-order Trotter:");
-    println!("{:>7} {:>10} {:>10} {:>9}", "steps", "CNOTs", "depth", "cancel%");
+    println!(
+        "{:>7} {:>10} {:>10} {:>9}",
+        "steps", "CNOTs", "depth", "cancel%"
+    );
     for steps in [1usize, 2, 4] {
         let h = trotterize(&lih, steps);
         let r = compiler.compile(&h, &graph);

@@ -44,7 +44,10 @@ fn observable(n: usize) -> Vec<(PauliString, f64)> {
         terms.push((
             PauliString::from_sparse(
                 n,
-                &[(q, tetris::pauli::PauliOp::Z), (q + 1, tetris::pauli::PauliOp::Z)],
+                &[
+                    (q, tetris::pauli::PauliOp::Z),
+                    (q + 1, tetris::pauli::PauliOp::Z),
+                ],
             ),
             0.25,
         ));

@@ -4,6 +4,7 @@
 //! tetris compile --molecule BeH2 --encoder bk --backend sycamore --qasm out.qasm
 //! tetris qaoa --nodes 18 --degree 3 --qasm out.qasm
 //! tetris compare --molecule LiH
+//! tetris bench-suite --quick --threads 4 --out report.json
 //! ```
 
 use std::process::ExitCode;
@@ -23,6 +24,8 @@ fn usage() -> ExitCode {
                  [--swap-weight W] [--lookahead K] [--no-bridging] [--qasm FILE]
   tetris qaoa    [--nodes N] [--degree D | --edges M] [--seed S] [--qasm FILE]
   tetris compare [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
+  tetris bench-suite [--quick] [--threads N] [--passes P] [--backend heavy-hex|sycamore]
+                     [--out FILE]
 
 molecules: LiH BeH2 CH4 MgH2 LiCl CO2"
     );
@@ -129,12 +132,21 @@ fn cmd_compile(args: &Args) -> Option<ExitCode> {
 }
 
 fn cmd_qaoa(args: &Args) -> Option<ExitCode> {
-    let n: usize = args.value("--nodes").and_then(|v| v.parse().ok()).unwrap_or(16);
-    let seed: u64 = args.value("--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let n: usize = args
+        .value("--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let seed: u64 = args
+        .value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
     let g = if let Some(m) = args.value("--edges").and_then(|v| v.parse().ok()) {
         Graph::random_gnm(n, m, seed)
     } else {
-        let d: usize = args.value("--degree").and_then(|v| v.parse().ok()).unwrap_or(3);
+        let d: usize = args
+            .value("--degree")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
         Graph::random_regular(n, d, seed)
     };
     let h = maxcut_hamiltonian(&g, "qaoa");
@@ -172,6 +184,81 @@ fn cmd_compare(args: &Args) -> Option<ExitCode> {
     Some(ExitCode::SUCCESS)
 }
 
+/// Drives the full workload suite through the batch-compilation engine and
+/// prints a JSON report: per-job timings plus the engine's cache counters.
+/// With `--passes 2` (the default) the suite runs twice in-process; the
+/// second pass is served from the content-addressed cache, which the
+/// report's `cached_fraction` makes visible.
+fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use tetris::bench::suite::{json_report, suite_jobs, SuitePass};
+    use tetris::engine::{Engine, EngineConfig};
+
+    let quick = args.flag("--quick");
+    let graph = Arc::new(backend(args)?);
+    let threads: usize = args
+        .value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let passes: usize = args
+        .value("--passes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+
+    let engine = Engine::new(EngineConfig {
+        threads,
+        cache_capacity: 1024,
+    });
+    let mut report_passes = Vec::with_capacity(passes);
+    for pass in 1..=passes {
+        let jobs = suite_jobs(quick, &graph);
+        eprintln!(
+            "[bench-suite] pass {pass}/{passes}: {} jobs on {} workers…",
+            jobs.len(),
+            engine.threads()
+        );
+        let t0 = Instant::now();
+        let results = engine.compile_batch(jobs);
+        let wall = t0.elapsed().as_secs_f64();
+        let cached = results.iter().filter(|r| r.cached).count();
+        eprintln!(
+            "[bench-suite] pass {pass}: {:.2}s wall, {cached}/{} from cache",
+            wall,
+            results.len()
+        );
+        for r in results.iter().filter(|r| r.error.is_some()) {
+            eprintln!(
+                "[bench-suite] ERROR {} via {}: {}",
+                r.name,
+                r.compiler,
+                r.error.as_deref().unwrap_or("")
+            );
+        }
+        report_passes.push(SuitePass {
+            pass,
+            wall_seconds: wall,
+            results,
+            cache: engine.cache_stats(),
+        });
+    }
+
+    let report = json_report(engine.threads(), &report_passes);
+    match args.value("--out") {
+        Some(path) => {
+            std::fs::write(path, &report).expect("write report file");
+            println!("wrote {path}");
+        }
+        None => println!("{report}"),
+    }
+    Some(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
@@ -182,6 +269,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&args),
         "qaoa" => cmd_qaoa(&args),
         "compare" => cmd_compare(&args),
+        "bench-suite" => cmd_bench_suite(&args),
         _ => None,
     };
     result.unwrap_or_else(usage)

@@ -37,10 +37,17 @@
 //!   lookahead scheduling).
 //! * [`baselines`] — Paulihedral-like, max-cancel, tket-like, PCOAST-like and
 //!   2QAN-lite comparators used throughout the evaluation.
+//! * [`engine`] — the parallel batch-compilation engine: a fixed worker
+//!   pool plus a content-addressed result cache, with every compiler of
+//!   the workspace behind one [`engine::Backend`].
+//! * [`bench`] — the experiment harness: workload suites, table emitters
+//!   and the per-figure binaries.
 
 pub use tetris_baselines as baselines;
+pub use tetris_bench as bench;
 pub use tetris_circuit as circuit;
 pub use tetris_core as core;
+pub use tetris_engine as engine;
 pub use tetris_pauli as pauli;
 pub use tetris_router as router;
 pub use tetris_sim as sim;

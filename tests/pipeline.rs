@@ -56,7 +56,10 @@ fn fig17_shape_cancel_ratio_ordering() {
     let max = max_cancel::max_cancel_ratio(&h);
     assert!(ph <= tetris + 1e-9, "ph {ph:.3} vs tetris {tetris:.3}");
     assert!(tetris <= max + 1e-9, "tetris {tetris:.3} vs max {max:.3}");
-    assert!(max > 0.4, "max_cancel should expose large headroom, got {max:.3}");
+    assert!(
+        max > 0.4,
+        "max_cancel should expose large headroom, got {max:.3}"
+    );
 }
 
 #[test]

@@ -1,216 +1,278 @@
-//! Property-based tests (proptest) over the core invariants: Pauli algebra
-//! laws, optimizer soundness, router compliance, compiler compliance, and
-//! encoder anticommutation.
+//! Randomized property tests over the core invariants: Pauli algebra laws,
+//! optimizer soundness, router compliance, compiler compliance, and encoder
+//! anticommutation.
+//!
+//! Originally written against proptest; the workspace builds without
+//! external dependencies, so the same properties are exercised with the
+//! vendored deterministic RNG (`tetris::pauli::rng`) over a fixed number of
+//! seeded cases — reproducible by construction, no shrinking.
 
-use proptest::prelude::*;
 use tetris::circuit::{cancel_gates, cancel_gates_commutative, Circuit, Gate};
 use tetris::core::{TetrisCompiler, TetrisConfig};
 use tetris::pauli::encoder::Encoding;
+use tetris::pauli::rng::rngs::StdRng;
+use tetris::pauli::rng::{Rng, SeedableRng};
 use tetris::pauli::{Hamiltonian, PauliBlock, PauliOp, PauliString, PauliTerm, Phase};
 use tetris::router::{route, RouterConfig};
 use tetris::sim::Statevector;
 use tetris::topology::{CouplingGraph, Layout};
 
-fn arb_pauli_op() -> impl Strategy<Value = PauliOp> {
-    prop_oneof![
-        Just(PauliOp::I),
-        Just(PauliOp::X),
-        Just(PauliOp::Y),
-        Just(PauliOp::Z),
-    ]
+const CASES: u64 = 64;
+
+fn rand_op(rng: &mut StdRng) -> PauliOp {
+    match rng.gen_range(0..4usize) {
+        0 => PauliOp::I,
+        1 => PauliOp::X,
+        2 => PauliOp::Y,
+        _ => PauliOp::Z,
+    }
 }
 
-fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
-    prop::collection::vec(arb_pauli_op(), n).prop_map(PauliString::new)
+fn rand_string(rng: &mut StdRng, n: usize) -> PauliString {
+    PauliString::new((0..n).map(|_| rand_op(rng)).collect())
 }
 
-fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-    prop_oneof![
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::S),
-        q.clone().prop_map(Gate::Sdg),
-        q.clone().prop_map(Gate::X),
-        (q, -3.0f64..3.0).prop_map(|(a, t)| Gate::Rz(a, t)),
-        q2.clone().prop_map(|(a, b)| Gate::Cnot(a, b)),
-        q2.prop_map(|(a, b)| Gate::Swap(a, b)),
-    ]
+fn rand_gate(rng: &mut StdRng, n: usize) -> Gate {
+    let distinct_pair = |rng: &mut StdRng| {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        while b == a {
+            b = rng.gen_range(0..n);
+        }
+        (a, b)
+    };
+    match rng.gen_range(0..7usize) {
+        0 => Gate::H(rng.gen_range(0..n)),
+        1 => Gate::S(rng.gen_range(0..n)),
+        2 => Gate::Sdg(rng.gen_range(0..n)),
+        3 => Gate::X(rng.gen_range(0..n)),
+        4 => Gate::Rz(rng.gen_range(0..n), rng.gen_range(-3.0..3.0)),
+        5 => {
+            let (a, b) = distinct_pair(rng);
+            Gate::Cnot(a, b)
+        }
+        _ => {
+            let (a, b) = distinct_pair(rng);
+            Gate::Swap(a, b)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rand_circuit(rng: &mut StdRng, n: usize, max_len: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..rng.gen_range(0..max_len) {
+        c.push(rand_gate(rng, n));
+    }
+    c
+}
 
-    #[test]
-    fn pauli_product_phase_laws(a in arb_string(5), b in arb_string(5)) {
+#[test]
+fn pauli_product_phase_laws() {
+    let mut rng = StdRng::seed_from_u64(0xa1);
+    for _ in 0..CASES {
+        let a = rand_string(&mut rng, 5);
+        let b = rand_string(&mut rng, 5);
         let (pab, rab) = a.mul(&b);
         let (pba, rba) = b.mul(&a);
         // Same result string; phases equal iff commuting.
-        prop_assert_eq!(&rab, &rba);
-        prop_assert_eq!(a.commutes_with(&b), pab == pba);
+        assert_eq!(&rab, &rba);
+        assert_eq!(a.commutes_with(&b), pab == pba);
         // Self-product is the identity with phase 1.
         let (paa, raa) = a.mul(&a);
-        prop_assert_eq!(paa, Phase::One);
-        prop_assert!(raa.is_identity());
+        assert_eq!(paa, Phase::One);
+        assert!(raa.is_identity());
     }
+}
 
-    #[test]
-    fn optimizer_preserves_unitary(gates in prop::collection::vec(arb_gate(4), 0..40)) {
-        let mut circuit = Circuit::new(4);
-        for g in &gates {
-            circuit.push(*g);
-        }
+#[test]
+fn optimizer_preserves_unitary() {
+    let mut rng = StdRng::seed_from_u64(0xa2);
+    for case in 0..CASES {
+        let circuit = rand_circuit(&mut rng, 4, 40);
         let mut optimized = circuit.clone();
         let report = cancel_gates(&mut optimized);
-        prop_assert!(optimized.len() <= circuit.len());
-        prop_assert_eq!(circuit.len() - optimized.len(), report.removed_total());
+        assert!(optimized.len() <= circuit.len());
+        assert_eq!(circuit.len() - optimized.len(), report.removed_total());
 
-        let mut a = Statevector::random_state(4, 1234);
+        let mut a = Statevector::random_state(4, 1234 + case);
         let mut b = a.clone();
         a.apply_circuit(&circuit);
         b.apply_circuit(&optimized);
-        prop_assert!(a.equals_up_to_global_phase(&b, 1e-9));
+        assert!(a.equals_up_to_global_phase(&b, 1e-9));
     }
+}
 
-    #[test]
-    fn commutative_optimizer_preserves_unitary(
-        gates in prop::collection::vec(arb_gate(4), 0..50),
-    ) {
-        let mut circuit = Circuit::new(4);
-        for g in &gates {
-            circuit.push(*g);
-        }
+#[test]
+fn commutative_optimizer_preserves_unitary() {
+    let mut rng = StdRng::seed_from_u64(0xa3);
+    for case in 0..CASES {
+        let circuit = rand_circuit(&mut rng, 4, 50);
         let mut optimized = circuit.clone();
         let commutative = cancel_gates_commutative(&mut optimized);
         // The commuting pass removes at least as much as the adjacent one.
         let mut adjacent_only = circuit.clone();
         let adjacent = cancel_gates(&mut adjacent_only);
-        prop_assert!(commutative.removed_total() >= adjacent.removed_total());
+        assert!(commutative.removed_total() >= adjacent.removed_total());
 
-        let mut a = Statevector::random_state(4, 4242);
+        let mut a = Statevector::random_state(4, 4242 + case);
         let mut b = a.clone();
         a.apply_circuit(&circuit);
         b.apply_circuit(&optimized);
-        prop_assert!(a.equals_up_to_global_phase(&b, 1e-9));
+        assert!(a.equals_up_to_global_phase(&b, 1e-9));
     }
+}
 
-    #[test]
-    fn optimizer_never_increases_counts(gates in prop::collection::vec(arb_gate(5), 0..60)) {
-        let mut circuit = Circuit::new(5);
-        for g in &gates {
-            circuit.push(*g);
-        }
+#[test]
+fn optimizer_never_increases_counts() {
+    let mut rng = StdRng::seed_from_u64(0xa4);
+    for _ in 0..CASES {
+        let mut circuit = rand_circuit(&mut rng, 5, 60);
         let before = (circuit.cnot_count(), circuit.single_qubit_count());
         cancel_gates(&mut circuit);
-        prop_assert!(circuit.cnot_count() <= before.0);
-        prop_assert!(circuit.single_qubit_count() <= before.1);
+        assert!(circuit.cnot_count() <= before.0);
+        assert!(circuit.single_qubit_count() <= before.1);
         // Idempotence.
         let snapshot = circuit.clone();
         let second = cancel_gates(&mut circuit);
-        prop_assert_eq!(second.removed_total(), 0);
-        prop_assert_eq!(circuit, snapshot);
+        assert_eq!(second.removed_total(), 0);
+        assert_eq!(circuit, snapshot);
     }
+}
 
-    #[test]
-    fn router_output_is_always_compliant(gates in prop::collection::vec(arb_gate(5), 0..30)) {
-        let mut logical = Circuit::new(5);
-        for g in &gates {
-            logical.push(*g);
-        }
+#[test]
+fn router_output_is_always_compliant() {
+    let mut rng = StdRng::seed_from_u64(0xa5);
+    for _ in 0..CASES {
+        let logical = rand_circuit(&mut rng, 5, 30);
         let graph = CouplingGraph::grid(2, 3);
-        let routed = route(&logical, &graph, Layout::trivial(5, 6), &RouterConfig::default());
-        prop_assert!(routed.circuit.is_hardware_compliant(&graph));
-        prop_assert!(routed.final_layout.is_consistent());
+        let routed = route(
+            &logical,
+            &graph,
+            Layout::trivial(5, 6),
+            &RouterConfig::default(),
+        );
+        assert!(routed.circuit.is_hardware_compliant(&graph));
+        assert!(routed.final_layout.is_consistent());
     }
+}
 
-    #[test]
-    fn compiler_output_is_always_compliant(
-        strings in prop::collection::vec(arb_string(5), 1..4),
-        angle in 0.05f64..1.5,
-    ) {
+#[test]
+fn compiler_output_is_always_compliant() {
+    let mut rng = StdRng::seed_from_u64(0xa6);
+    for _ in 0..CASES {
+        let angle = rng.gen_range(0.05..1.5);
         // Each string becomes a block (commutation within a block is not
         // required by the compiler when blocks are singletons).
-        let blocks: Vec<PauliBlock> = strings
-            .into_iter()
+        let blocks: Vec<PauliBlock> = (0..rng.gen_range(1..4usize))
+            .map(|_| rand_string(&mut rng, 5))
             .filter(|s| !s.is_identity())
             .enumerate()
             .map(|(i, s)| PauliBlock::new(vec![PauliTerm::new(s, 1.0)], angle, format!("b{i}")))
             .collect();
-        prop_assume!(!blocks.is_empty());
+        if blocks.is_empty() {
+            continue;
+        }
         let h = Hamiltonian::new(5, blocks, "prop");
         let graph = CouplingGraph::grid(3, 3);
         let r = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
-        prop_assert!(r.circuit.is_hardware_compliant(&graph));
-        prop_assert!(r.final_layout.is_consistent());
-        prop_assert_eq!(
+        assert!(r.circuit.is_hardware_compliant(&graph));
+        assert!(r.final_layout.is_consistent());
+        assert_eq!(
             r.stats.metrics.cnot_count,
             r.stats.logical_cnots() + r.stats.swap_cnots()
         );
     }
+}
 
-    #[test]
-    fn single_block_compilation_is_semantically_exact(
-        s in arb_string(4).prop_filter("non-identity", |s| !s.is_identity()),
-        angle in 0.1f64..1.2,
-    ) {
+#[test]
+fn single_block_compilation_is_semantically_exact() {
+    let mut rng = StdRng::seed_from_u64(0xa7);
+    let mut cases = 0;
+    while cases < CASES {
+        let s = rand_string(&mut rng, 4);
+        if s.is_identity() {
+            continue;
+        }
+        cases += 1;
+        let angle = rng.gen_range(0.1..1.2);
         let h = Hamiltonian::new(
             4,
-            vec![PauliBlock::new(vec![PauliTerm::new(s.clone(), 1.0)], angle, "b")],
+            vec![PauliBlock::new(
+                vec![PauliTerm::new(s.clone(), 1.0)],
+                angle,
+                "b",
+            )],
             "prop",
         );
         let graph = CouplingGraph::line(6);
         let r = TetrisCompiler::new(TetrisConfig::default()).compile(&h, &graph);
-        let input = Statevector::random_state(4, 777);
+        let input = Statevector::random_state(4, 777 + cases);
         let mut physical = input.embed(&r.initial_layout.as_assignment(), 6);
         physical.apply_circuit(&r.circuit);
         let mut reference = input;
         reference.apply_pauli_exp(&s, angle);
         let expected = reference.embed(&r.final_layout.as_assignment(), 6);
-        prop_assert!(physical.equals_up_to_global_phase(&expected, 1e-8));
+        assert!(physical.equals_up_to_global_phase(&expected, 1e-8));
     }
+}
 
-    #[test]
-    fn layout_stays_consistent_under_swap_sequences(
-        swaps in prop::collection::vec((0usize..8, 0usize..8), 0..40),
-    ) {
+#[test]
+fn layout_stays_consistent_under_swap_sequences() {
+    let mut rng = StdRng::seed_from_u64(0xa8);
+    for _ in 0..CASES {
         let mut layout = Layout::trivial(5, 8);
-        for (a, b) in swaps {
+        for _ in 0..rng.gen_range(0..40usize) {
+            let a = rng.gen_range(0..8usize);
+            let b = rng.gen_range(0..8usize);
             if a != b {
                 layout.swap_phys(a, b);
             }
         }
-        prop_assert!(layout.is_consistent());
+        assert!(layout.is_consistent());
         // Exactly 5 occupied positions, 3 free.
         let free = (0..8).filter(|&p| layout.is_free(p)).count();
-        prop_assert_eq!(free, 3);
+        assert_eq!(free, 3);
     }
+}
 
-    #[test]
-    fn qasm_round_trips_gate_counts(gates in prop::collection::vec(arb_gate(4), 0..30)) {
-        use tetris::circuit::qasm::to_qasm;
-        let mut c = Circuit::new(4);
-        for g in &gates {
-            c.push(*g);
-        }
+#[test]
+fn qasm_round_trips_gate_counts() {
+    use tetris::circuit::qasm::to_qasm;
+    let mut rng = StdRng::seed_from_u64(0xa9);
+    for _ in 0..CASES {
+        let c = rand_circuit(&mut rng, 4, 30);
         let text = to_qasm(&c);
         // One body line per gate, except SWAP which becomes 3 cx lines.
         let body = text
             .lines()
-            .filter(|l| !l.starts_with("OPENQASM") && !l.starts_with("include") && !l.starts_with("qreg") && !l.starts_with("creg"))
+            .filter(|l| {
+                !l.starts_with("OPENQASM")
+                    && !l.starts_with("include")
+                    && !l.starts_with("qreg")
+                    && !l.starts_with("creg")
+            })
             .count();
         let swaps = c.swap_count();
-        prop_assert_eq!(body, c.len() + 2 * swaps);
+        assert_eq!(body, c.len() + 2 * swaps);
         // CNOT-equivalent count is preserved textually.
-        prop_assert_eq!(text.matches("cx ").count(), c.cnot_count());
+        assert_eq!(text.matches("cx ").count(), c.cnot_count());
     }
+}
 
-    #[test]
-    fn encoders_anticommute(n in 2usize..7, k in 0usize..12, l in 0usize..12) {
-        prop_assume!(k < 2 * n && l < 2 * n && k != l);
+#[test]
+fn encoders_anticommute() {
+    let mut rng = StdRng::seed_from_u64(0xaa);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..7usize);
+        let k = rng.gen_range(0..2 * n);
+        let l = rng.gen_range(0..2 * n);
+        if k == l {
+            continue;
+        }
         for enc in [Encoding::JordanWigner, Encoding::BravyiKitaev] {
             let a = enc.majorana(n, k);
             let b = enc.majorana(n, l);
-            prop_assert!(!a.commutes_with(&b), "{enc}: γ{k} vs γ{l}");
+            assert!(!a.commutes_with(&b), "{enc}: γ{k} vs γ{l}");
         }
     }
 }
