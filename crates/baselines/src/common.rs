@@ -93,26 +93,12 @@ pub fn route_and_finish(
 }
 
 /// Greedy similarity chaining of a block's strings (Paulihedral's
-/// lexicographic-style intra-block ordering): start from the first term,
-/// repeatedly append the remaining string sharing the most non-identity
-/// operators with the current one. Shared by every baseline so that string
-/// order never confounds the synthesis comparison.
+/// lexicographic-style intra-block ordering). Shared by every baseline so
+/// that string order never confounds the synthesis comparison; delegates to
+/// the word-parallel, index-based
+/// [`tetris_pauli::block::greedy_similarity_order`].
 pub fn paulihedral_order(block: &tetris_pauli::PauliBlock) -> tetris_pauli::PauliBlock {
-    if block.terms.len() <= 2 {
-        return block.clone();
-    }
-    let mut remaining = block.terms.clone();
-    let mut ordered = vec![remaining.remove(0)];
-    while !remaining.is_empty() {
-        let cur = &ordered.last().expect("non-empty").string;
-        let (i, _) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(i, t)| (cur.common_weight(&t.string), std::cmp::Reverse(*i)))
-            .expect("non-empty");
-        ordered.push(remaining.remove(i));
-    }
-    tetris_pauli::PauliBlock::new(ordered, block.angle, block.label.clone())
+    tetris_pauli::block::greedy_similarity_order(block)
 }
 
 #[cfg(test)]

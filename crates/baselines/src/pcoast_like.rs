@@ -41,15 +41,13 @@ pub fn logical_circuit(hamiltonian: &Hamiltonian) -> (Circuit, usize) {
         order.push(first);
         while !remaining.is_empty() {
             let last = *order.last().expect("non-empty");
-            let next = *remaining
+            // One word-parallel similarity evaluation per candidate per
+            // round (the comparator-driven form recomputed both sides on
+            // every comparison).
+            let (_, next) = remaining
                 .iter()
-                .max_by(|&&a, &&b| {
-                    blocks[last]
-                        .similarity(&blocks[a])
-                        .partial_cmp(&blocks[last].similarity(&blocks[b]))
-                        .unwrap()
-                        .then(b.cmp(&a))
-                })
+                .map(|&i| (blocks[last].similarity(&blocks[i]), i))
+                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
                 .expect("non-empty");
             remaining.retain(|&i| i != next);
             order.push(next);

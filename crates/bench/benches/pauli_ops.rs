@@ -1,0 +1,142 @@
+//! Microbenchmarks of the Pauli-string kernels: bit-packed bitplanes
+//! (`tetris_pauli::PauliString`) vs the dense one-op-per-site reference
+//! (`tetris_pauli::dense::DenseString`) on identical random inputs.
+//!
+//! `harness = false` (criterion is not vendored in this offline workspace);
+//! timings come from `tetris_bench::timing::best_of_secs`. Each cell is the
+//! best-of-N wall clock of `PAIRS · reps` kernel invocations, reported as
+//! ns/call with the dense/packed speedup. Run with
+//! `cargo bench -p tetris-bench --bench pauli_ops`.
+
+use tetris_bench::timing::{best_of_secs, SAMPLES};
+use tetris_pauli::dense::DenseString;
+use tetris_pauli::rng::rngs::StdRng;
+use tetris_pauli::rng::{Rng, SeedableRng};
+use tetris_pauli::{PauliOp, PauliString};
+
+/// Random string pairs per width; every kernel call walks a fresh pair so
+/// the branch predictor cannot memorize one input.
+const PAIRS: usize = 256;
+
+/// Qubit widths: small, exactly one word, a mid UCCSD register, and a
+/// large-device register.
+const WIDTHS: [usize; 4] = [16, 64, 256, 1024];
+
+fn rand_ops(rng: &mut StdRng, n: usize) -> Vec<PauliOp> {
+    (0..n)
+        .map(|_| match rng.gen_range(0..4usize) {
+            0 => PauliOp::I,
+            1 => PauliOp::X,
+            2 => PauliOp::Y,
+            _ => PauliOp::Z,
+        })
+        .collect()
+}
+
+struct Cell {
+    kernel: &'static str,
+    n: usize,
+    packed_ns: f64,
+    dense_ns: f64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.dense_ns / self.packed_ns
+    }
+}
+
+fn main() {
+    let mut cells: Vec<Cell> = Vec::new();
+    for n in WIDTHS {
+        let mut rng = StdRng::seed_from_u64(0x9a00 + n as u64);
+        let dense: Vec<(DenseString, DenseString)> = (0..PAIRS)
+            .map(|_| {
+                (
+                    DenseString::new(rand_ops(&mut rng, n)),
+                    DenseString::new(rand_ops(&mut rng, n)),
+                )
+            })
+            .collect();
+        let packed: Vec<(PauliString, PauliString)> = dense
+            .iter()
+            .map(|(a, b)| (a.to_packed(), b.to_packed()))
+            .collect();
+
+        // reps · PAIRS kernel calls per timed sample; scale reps down with
+        // width so every cell takes comparable wall time.
+        let reps = (2_000_000 / (n * PAIRS)).max(4);
+        let per_call = |secs: f64| secs * 1e9 / (reps * PAIRS) as f64;
+
+        let time_pair = |packed_f: &mut dyn FnMut() -> usize,
+                         dense_f: &mut dyn FnMut() -> usize|
+         -> (f64, f64) {
+            (
+                per_call(best_of_secs(SAMPLES, || {
+                    (0..reps).map(|_| packed_f()).sum::<usize>()
+                })),
+                per_call(best_of_secs(SAMPLES, || {
+                    (0..reps).map(|_| dense_f()).sum::<usize>()
+                })),
+            )
+        };
+
+        let (p, d) = time_pair(
+            &mut || packed.iter().filter(|(a, b)| a.commutes_with(b)).count(),
+            &mut || dense.iter().filter(|(a, b)| a.commutes_with(b)).count(),
+        );
+        cells.push(Cell {
+            kernel: "commutes_with",
+            n,
+            packed_ns: p,
+            dense_ns: d,
+        });
+
+        let (p, d) = time_pair(
+            &mut || packed.iter().map(|(a, b)| a.common_weight(b)).sum(),
+            &mut || dense.iter().map(|(a, b)| a.common_weight(b)).sum(),
+        );
+        cells.push(Cell {
+            kernel: "common_weight",
+            n,
+            packed_ns: p,
+            dense_ns: d,
+        });
+
+        let (p, d) = time_pair(
+            &mut || {
+                packed
+                    .iter()
+                    .map(|(a, b)| a.mul(b).0.exponent() as usize)
+                    .sum()
+            },
+            &mut || {
+                dense
+                    .iter()
+                    .map(|(a, b)| a.mul(b).0.exponent() as usize)
+                    .sum()
+            },
+        );
+        cells.push(Cell {
+            kernel: "mul",
+            n,
+            packed_ns: p,
+            dense_ns: d,
+        });
+    }
+
+    println!(
+        "{:<16} {:>7} {:>14} {:>14} {:>9}",
+        "kernel", "qubits", "packed ns/call", "dense ns/call", "speedup"
+    );
+    for c in &cells {
+        println!(
+            "{:<16} {:>7} {:>14.1} {:>14.1} {:>8.1}x",
+            c.kernel,
+            c.n,
+            c.packed_ns,
+            c.dense_ns,
+            c.speedup()
+        );
+    }
+}

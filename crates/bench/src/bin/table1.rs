@@ -19,8 +19,7 @@ fn one_q_count(h: &Hamiltonian) -> usize {
         .map(|t| {
             1 + t
                 .string
-                .ops()
-                .iter()
+                .iter_ops()
                 .map(|op| match op {
                     PauliOp::X => 2,
                     PauliOp::Y => 4,

@@ -6,16 +6,23 @@ use std::time::Instant;
 /// Default sample count for the bench binaries.
 pub const SAMPLES: usize = 5;
 
-/// Runs `f` `samples` times and prints the best wall-clock time under
-/// `label`. The minimum (not the mean) is reported: it is the least noisy
-/// estimator of the work's intrinsic cost on a shared machine.
-pub fn time_best_of<T>(label: &str, samples: usize, mut f: impl FnMut() -> T) {
+/// Runs `f` `samples` times and returns the best wall-clock seconds. The
+/// minimum (not the mean) is the least noisy estimator of the work's
+/// intrinsic cost on a shared machine.
+pub fn best_of_secs<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..samples {
         let t0 = Instant::now();
         std::hint::black_box(f());
         best = best.min(t0.elapsed().as_secs_f64());
     }
+    best
+}
+
+/// Runs `f` `samples` times and prints the best wall-clock time under
+/// `label`.
+pub fn time_best_of<T>(label: &str, samples: usize, f: impl FnMut() -> T) {
+    let best = best_of_secs(samples, f);
     println!("{label:<32} best of {samples}: {best:.3}s");
 }
 

@@ -8,7 +8,7 @@ use crate::synthesis::synthesize_block;
 use std::time::Instant;
 use tetris_circuit::{cancel_gates_commutative, Circuit, Metrics};
 use tetris_pauli::ir::{TetrisBlock, TetrisIr};
-use tetris_pauli::{Hamiltonian, PauliBlock, PauliTerm};
+use tetris_pauli::{Hamiltonian, PauliBlock};
 use tetris_topology::{CouplingGraph, Layout};
 
 /// Output of a compilation: the hardware-compliant circuit, the layouts and
@@ -192,34 +192,19 @@ fn preprocess(blocks: &[TetrisBlock]) -> Vec<TetrisBlock> {
     out
 }
 
-/// Greedy similarity chaining of a block's strings: start from the first
-/// term and repeatedly append the remaining string sharing the most
-/// non-identity operators with the current one. Consecutive strings then
+/// Greedy similarity chaining of a block's strings: consecutive strings
 /// differ in as few positions as possible, which maximizes both 1-qubit
 /// and 2-qubit boundary cancellation (the intra-block ordering Paulihedral
-/// pioneered and Tetris inherits).
+/// pioneered and Tetris inherits). Delegates to the word-parallel,
+/// index-based [`tetris_pauli::block::greedy_similarity_order`].
 fn order_terms_by_similarity(block: &PauliBlock) -> PauliBlock {
-    if block.terms.len() <= 2 {
-        return block.clone();
-    }
-    let mut remaining: Vec<PauliTerm> = block.terms.clone();
-    let mut ordered = Vec::with_capacity(remaining.len());
-    ordered.push(remaining.remove(0));
-    while !remaining.is_empty() {
-        let cur = &ordered.last().expect("non-empty").string;
-        let (idx, _) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(i, t)| (cur.common_weight(&t.string), std::cmp::Reverse(*i)))
-            .expect("remaining non-empty");
-        ordered.push(remaining.remove(idx));
-    }
-    PauliBlock::new(ordered, block.angle, block.label.clone())
+    tetris_pauli::block::greedy_similarity_order(block)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tetris_pauli::PauliTerm;
     use tetris_sim::Statevector;
 
     fn ham(n: usize, blocks: Vec<Vec<(&str, f64)>>) -> Hamiltonian {

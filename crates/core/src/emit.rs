@@ -10,7 +10,7 @@
 
 use crate::tree::SynthesisTree;
 use tetris_circuit::{Circuit, Gate};
-use tetris_pauli::{PauliBlock, PauliOp, PauliString};
+use tetris_pauli::{PauliBlock, PauliOp, PauliString, QubitMask};
 
 /// Emits one Pauli string over `tree` with total rotation angle `angle`
 /// (the implemented unitary is `exp(-i·(angle/2)·P)`).
@@ -77,13 +77,14 @@ pub fn emit_block(tree: &SynthesisTree, block: &PauliBlock, out: &mut Circuit) {
 
 /// Whether every string of the block has the same support (the condition
 /// under which one tree serves all strings). Blocks violating this are
-/// regrouped by [`split_uniform_groups`].
+/// regrouped by [`split_uniform_groups`]. Word-parallel: supports are
+/// compared as packed `x | z` masks.
 pub fn has_uniform_support(block: &PauliBlock) -> bool {
-    let first: Vec<usize> = block.terms[0].string.support().collect();
+    let first = QubitMask::support_of(&block.terms[0].string);
     block
         .terms
         .iter()
-        .all(|t| t.string.support().eq(first.iter().copied()))
+        .all(|t| QubitMask::support_of(&t.string) == first)
 }
 
 /// Splits a block into sub-blocks of equal string support (insertion
@@ -97,13 +98,13 @@ pub fn split_uniform_groups(block: &PauliBlock) -> Vec<PauliBlock> {
     if has_uniform_support(block) {
         return vec![block.clone()];
     }
-    let mut order: Vec<Vec<usize>> = Vec::new();
+    let mut order: Vec<QubitMask> = Vec::new();
     let mut groups: Vec<Vec<tetris_pauli::PauliTerm>> = Vec::new();
     for term in &block.terms {
         if term.string.is_identity() {
             continue;
         }
-        let support: Vec<usize> = term.string.support().collect();
+        let support = QubitMask::support_of(&term.string);
         match order.iter().position(|s| *s == support) {
             Some(i) => groups[i].push(term.clone()),
             None => {

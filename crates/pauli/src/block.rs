@@ -1,6 +1,7 @@
 //! Pauli terms, blocks and Hamiltonians — the input of every compiler in the
 //! workspace.
 
+use crate::mask::QubitMask;
 use crate::string::PauliString;
 use std::fmt;
 
@@ -73,22 +74,25 @@ impl PauliBlock {
         self.terms.is_empty()
     }
 
+    /// Qubits on which at least one string acts non-trivially, as a packed
+    /// bitset — one OR per 64 qubits per string.
+    pub fn support_mask(&self) -> QubitMask {
+        let mut mask = QubitMask::empty(self.n_qubits());
+        for t in &self.terms {
+            mask.union_with_support(&t.string);
+        }
+        mask
+    }
+
     /// Qubits on which at least one string acts non-trivially, ascending.
     pub fn union_support(&self) -> Vec<usize> {
-        let n = self.n_qubits();
-        let mut active = vec![false; n];
-        for t in &self.terms {
-            for q in t.string.support() {
-                active[q] = true;
-            }
-        }
-        (0..n).filter(|&q| active[q]).collect()
+        self.support_mask().to_vec()
     }
 
     /// The paper's *active length*: the number of non-identity Pauli
     /// operators of the block (union over strings).
     pub fn active_length(&self) -> usize {
-        self.union_support().len()
+        self.support_mask().count()
     }
 
     /// Total weight (sum of string weights); the logical CNOT count of the
@@ -96,6 +100,46 @@ impl PauliBlock {
     pub fn total_weight(&self) -> usize {
         self.terms.iter().map(|t| t.string.weight()).sum()
     }
+}
+
+/// Greedy similarity chaining of a block's strings (Paulihedral's
+/// lexicographic-style intra-block ordering): start from the first term,
+/// repeatedly append the remaining string sharing the most non-identity
+/// operators with the current one (ties toward the earlier position).
+///
+/// The selection loop runs over an index array with the word-parallel
+/// [`PauliString::common_weight`] kernel — terms are cloned once into the
+/// final order instead of being shifted through a working vector on every
+/// extraction.
+pub fn greedy_similarity_order(block: &PauliBlock) -> PauliBlock {
+    if block.terms.len() <= 2 {
+        return block.clone();
+    }
+    let terms = &block.terms;
+    let mut remaining: Vec<usize> = (1..terms.len()).collect();
+    let mut order = Vec::with_capacity(terms.len());
+    order.push(0usize);
+    let mut cur = 0usize;
+    while !remaining.is_empty() {
+        let cur_string = &terms[cur].string;
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|&(p, &i)| {
+                (
+                    cur_string.common_weight(&terms[i].string),
+                    std::cmp::Reverse(p),
+                )
+            })
+            .expect("remaining non-empty");
+        cur = remaining.remove(pos);
+        order.push(cur);
+    }
+    PauliBlock::new(
+        order.into_iter().map(|i| terms[i].clone()).collect(),
+        block.angle,
+        block.label.clone(),
+    )
 }
 
 impl fmt::Display for PauliBlock {

@@ -1,0 +1,139 @@
+//! Dense (one-`PauliOp`-per-site) reference implementation of the Pauli
+//! string kernels.
+//!
+//! [`crate::string::PauliString`] packs its operators into X/Z bitplanes and
+//! computes products, commutation and overlap word-parallel. This module
+//! retains the previous representation — a plain `Vec<PauliOp>` walked one
+//! site at a time — as an executable specification:
+//!
+//! * the parity property tests (`tests/packed_parity.rs`) check the packed
+//!   kernels against these loops on random strings, including widths that
+//!   straddle the 64-bit word boundary;
+//! * the `pauli_ops` microbenchmark times packed vs dense on identical
+//!   inputs, which is where the headline speedup numbers come from.
+//!
+//! It is **not** used by the compiler pipeline.
+
+use crate::op::PauliOp;
+use crate::phase::Phase;
+use crate::string::PauliString;
+
+/// A dense Pauli string: one explicit operator per qubit.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DenseString {
+    ops: Vec<PauliOp>,
+}
+
+impl DenseString {
+    /// Builds a dense string from explicit operators.
+    pub fn new(ops: Vec<PauliOp>) -> Self {
+        DenseString { ops }
+    }
+
+    /// Converts from the packed representation.
+    pub fn from_packed(p: &PauliString) -> Self {
+        DenseString { ops: p.to_ops() }
+    }
+
+    /// Converts to the packed representation.
+    pub fn to_packed(&self) -> PauliString {
+        PauliString::new(self.ops.clone())
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Operator on qubit `q`.
+    pub fn op(&self, q: usize) -> PauliOp {
+        self.ops[q]
+    }
+
+    /// All operators, in qubit order.
+    pub fn ops(&self) -> &[PauliOp] {
+        &self.ops
+    }
+
+    /// Number of non-identity sites (naive scan).
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|o| !o.is_identity()).count()
+    }
+
+    /// Whether every site is the identity (naive scan).
+    pub fn is_identity(&self) -> bool {
+        self.ops.iter().all(|o| o.is_identity())
+    }
+
+    /// Non-identity qubit indices, ascending (naive scan).
+    pub fn support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.is_identity())
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// Phase-tracked product via the per-site [`PauliOp::mul`] table.
+    ///
+    /// # Panics
+    /// Panics if the strings act on different qubit counts.
+    pub fn mul(&self, other: &DenseString) -> (Phase, DenseString) {
+        assert_eq!(self.n_qubits(), other.n_qubits(), "length mismatch");
+        let mut phase = Phase::One;
+        let ops = self
+            .ops
+            .iter()
+            .zip(&other.ops)
+            .map(|(&a, &b)| {
+                let (p, r) = a.mul(b);
+                phase = phase * p;
+                r
+            })
+            .collect();
+        (phase, DenseString { ops })
+    }
+
+    /// Whether two strings commute, by counting anticommuting sites.
+    ///
+    /// # Panics
+    /// Panics if the strings act on different qubit counts.
+    pub fn commutes_with(&self, other: &DenseString) -> bool {
+        assert_eq!(self.n_qubits(), other.n_qubits(), "length mismatch");
+        let anti = self
+            .ops
+            .iter()
+            .zip(&other.ops)
+            .filter(|(&a, &b)| !a.commutes_with(b))
+            .count();
+        anti % 2 == 0
+    }
+
+    /// Number of sites where both strings carry the same non-identity
+    /// operator (naive scan).
+    ///
+    /// # Panics
+    /// Panics if the strings act on different qubit counts.
+    pub fn common_weight(&self, other: &DenseString) -> usize {
+        assert_eq!(self.n_qubits(), other.n_qubits(), "length mismatch");
+        self.ops
+            .iter()
+            .zip(&other.ops)
+            .filter(|(&a, &b)| !a.is_identity() && a == b)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_packed() {
+        let d = DenseString::new(vec![PauliOp::X, PauliOp::I, PauliOp::Y, PauliOp::Z]);
+        assert_eq!(DenseString::from_packed(&d.to_packed()), d);
+        assert_eq!(d.weight(), 3);
+        assert_eq!(d.support(), vec![0, 2, 3]);
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::block::{Hamiltonian, PauliBlock};
 use crate::fingerprint::Fingerprint64;
+use crate::mask::QubitMask;
 use crate::op::PauliOp;
 use std::fmt;
 
@@ -26,34 +27,54 @@ pub struct TetrisBlock {
     /// Qubits whose operator is identical across all strings — candidates
     /// for inter-string two-qubit gate cancellation.
     pub leaf_set: Vec<usize>,
+    /// `leaf_set` as a packed bitset (kept in sync by [`analyze`]); the
+    /// word-parallel operand of the Eq. 1 similarity kernel.
+    ///
+    /// [`analyze`]: TetrisBlock::analyze
+    pub leaf_mask: QubitMask,
 }
 
 impl TetrisBlock {
-    /// Analyzes a block into root and leaf sets.
+    /// Analyzes a block into root and leaf sets, word-parallel: a qubit is
+    /// a leaf iff it is in the first string's support and no other string's
+    /// bitplanes differ from the first's there — two XORs and an OR per
+    /// word per string, instead of a per-qubit op scan.
     pub fn analyze(block: PauliBlock) -> Self {
-        let support = block.union_support();
-        let mut root_set = Vec::new();
-        let mut leaf_set = Vec::new();
-        for &q in &support {
-            let first = block.terms[0].string.op(q);
-            let common =
-                !first.is_identity() && block.terms.iter().all(|t| t.string.op(q) == first);
-            if common {
-                leaf_set.push(q);
-            } else {
-                root_set.push(q);
+        let first = &block.terms[0].string;
+        let n = block.n_qubits();
+        let words = first.x_words().len();
+        // diff[w]: qubits where some string disagrees with the first.
+        let mut diff = vec![0u64; words];
+        for t in &block.terms[1..] {
+            let (x, z) = (t.string.x_words(), t.string.z_words());
+            for w in 0..words {
+                diff[w] |= (x[w] ^ first.x_words()[w]) | (z[w] ^ first.z_words()[w]);
             }
         }
+        // leaf = first-string support minus disagreements; the union support
+        // is `first_active | diff`, so the non-leaf remainder is exactly
+        // `diff` — no second pass over the strings needed.
+        let leaf_words: Vec<u64> = diff
+            .iter()
+            .enumerate()
+            .map(|(w, &d)| (first.x_words()[w] | first.z_words()[w]) & !d)
+            .collect();
+        let mut leaf_mask = QubitMask::from_words(n, leaf_words);
+        let root_mask = QubitMask::from_words(n, diff);
+        let mut root_set = root_mask.to_vec();
+        let mut leaf_set = leaf_mask.to_vec();
         if root_set.is_empty() {
             // Degenerate (e.g. single-string QAOA blocks): the Rz must sit
             // somewhere — promote one common qubit to the root set.
             let promoted = leaf_set.remove(0);
+            leaf_mask.remove(promoted);
             root_set.push(promoted);
         }
         TetrisBlock {
             block,
             root_set,
             leaf_set,
+            leaf_mask,
         }
     }
 
@@ -88,14 +109,42 @@ impl TetrisBlock {
     /// `S(T1,T2) = |C| / (|LT1| + |LT2| − |C|)` where `C` is the set of
     /// qubits carrying the same leaf operator in both blocks.
     ///
+    /// `|C|` is computed word-parallel: a qubit is in `C` iff both leaf
+    /// masks have it and the first strings' bitplanes agree there (leaf
+    /// operators equal the first string's operator by definition).
+    ///
     /// Returns 0 when both leaf sets are empty.
+    ///
+    /// # Panics
+    /// Panics if the blocks act on different register widths.
     pub fn similarity(&self, other: &TetrisBlock) -> f64 {
-        let c = self
-            .leaf_section()
-            .into_iter()
-            .filter(|&(q, op)| other.leaf_set.contains(&q) && other.leaf_op(q) == op)
-            .count();
-        let denom = self.leaf_set.len() + other.leaf_set.len() - c;
+        let a = &self.block.terms[0].string;
+        let b = &other.block.terms[0].string;
+        assert_eq!(
+            a.n_qubits(),
+            b.n_qubits(),
+            "similarity across register widths"
+        );
+        // Disjoint first-string supports ⇒ disjoint leaf sections ⇒ |C| = 0
+        // (whatever the denominator); the common case when ranking a whole
+        // block list, answered without touching the leaf masks.
+        if !a.supports_overlap(b) {
+            return 0.0;
+        }
+        let mut c = 0usize;
+        for (w, (&la, &lb)) in self
+            .leaf_mask
+            .words()
+            .iter()
+            .zip(other.leaf_mask.words())
+            .enumerate()
+        {
+            let same_op = !((a.x_words()[w] ^ b.x_words()[w]) | (a.z_words()[w] ^ b.z_words()[w]));
+            c += (la & lb & same_op).count_ones() as usize;
+        }
+        // Count from the masks (not `leaf_set.len()`) so the whole metric
+        // depends on one field.
+        let denom = self.leaf_mask.count() + other.leaf_mask.count() - c;
         if denom == 0 {
             0.0
         } else {
@@ -197,7 +246,7 @@ pub(crate) fn hash_semantic_content<'a>(
         h.write_usize(b.terms.len());
         for t in &b.terms {
             h.write_f64(t.coeff);
-            for op in t.string.ops() {
+            for op in t.string.iter_ops() {
                 h.write_u8(op.to_char() as u8);
             }
         }

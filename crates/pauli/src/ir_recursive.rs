@@ -32,18 +32,23 @@ pub struct RecursiveBlock {
 }
 
 impl RecursiveBlock {
-    /// Analyzes a block.
+    /// Analyzes a block. Each boundary's common section is located
+    /// word-parallel (equal-bitplane AND support, then a trailing-zeros
+    /// scan) instead of a per-qubit operator walk.
     pub fn analyze(block: PauliBlock) -> Self {
         let boundary_common = block
             .terms
             .windows(2)
             .map(|w| {
-                (0..block.n_qubits())
-                    .filter_map(|q| {
-                        let a = w[0].string.op(q);
-                        let b = w[1].string.op(q);
-                        (a == b && !a.is_identity()).then_some((q, a))
-                    })
+                let (a, b) = (&w[0].string, &w[1].string);
+                let common_words = a
+                    .x_words()
+                    .iter()
+                    .zip(a.z_words())
+                    .zip(b.x_words().iter().zip(b.z_words()))
+                    .map(|((&ax, &az), (&bx, &bz))| !((ax ^ bx) | (az ^ bz)) & (ax | az));
+                crate::mask::iter_set_bits(common_words)
+                    .map(|q| (q, a.op(q)))
                     .collect()
             })
             .collect();

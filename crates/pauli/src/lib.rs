@@ -27,11 +27,13 @@
 
 pub mod block;
 pub mod complex;
+pub mod dense;
 pub mod encoder;
 pub mod fermion;
 pub mod fingerprint;
 pub mod ir;
 pub mod ir_recursive;
+pub mod mask;
 pub mod molecules;
 pub mod op;
 pub mod phase;
@@ -43,6 +45,7 @@ pub mod uccsd;
 
 pub use block::{Hamiltonian, PauliBlock, PauliTerm};
 pub use complex::C64;
+pub use mask::QubitMask;
 pub use op::PauliOp;
 pub use phase::Phase;
 pub use string::PauliString;

@@ -1,0 +1,252 @@
+//! Packed qubit sets.
+//!
+//! A [`QubitMask`] is a bitset over a fixed-width qubit register, word-for-
+//! word compatible with the bitplanes of [`crate::string::PauliString`]
+//! (qubit `q` lives at bit `q % 64` of word `q / 64`). Block-level analyses
+//! — union support, leaf/root classification, the paper's Eq. 1 similarity —
+//! reduce to OR/AND/popcount over these words instead of per-qubit scans.
+
+use crate::string::PauliString;
+use std::fmt;
+
+/// Iterator over the set-bit positions of a packed word stream: bit `b` of
+/// word `w` yields `64·w + b`, ascending (a trailing-zeros /
+/// clear-lowest-bit scan, O(set bits + words)). The shared scan behind
+/// [`QubitMask::iter`], `PauliString::support` and the per-boundary
+/// analyses — fix the idiom here, not in four copies.
+pub fn iter_set_bits<I>(words: I) -> impl Iterator<Item = usize>
+where
+    I: IntoIterator<Item = u64>,
+{
+    words.into_iter().enumerate().flat_map(|(w, word)| {
+        let mut bits = word;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + b)
+            }
+        })
+    })
+}
+
+/// A set of qubit indices on an `n`-qubit register, packed 64 per word.
+///
+/// Bits at positions ≥ `n` are always zero, so equality, hashing and counts
+/// never see garbage in the tail word.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QubitMask {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl QubitMask {
+    /// The empty set on `n` qubits.
+    pub fn empty(n: usize) -> Self {
+        QubitMask {
+            n,
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Builds a mask from raw words (callers guarantee bits ≥ `n` are zero).
+    pub(crate) fn from_words(n: usize, words: Vec<u64>) -> Self {
+        debug_assert_eq!(words.len(), n.div_ceil(64));
+        QubitMask { n, words }
+    }
+
+    /// The support of a Pauli string (`x | z` per word).
+    pub fn support_of(s: &PauliString) -> Self {
+        QubitMask {
+            n: s.n_qubits(),
+            words: s
+                .x_words()
+                .iter()
+                .zip(s.z_words())
+                .map(|(&x, &z)| x | z)
+                .collect(),
+        }
+    }
+
+    /// Register width.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The raw words (qubit `q` at bit `q % 64` of word `q / 64`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Inserts qubit `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn insert(&mut self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        self.words[q / 64] |= 1u64 << (q % 64);
+    }
+
+    /// Removes qubit `q`.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn remove(&mut self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        self.words[q / 64] &= !(1u64 << (q % 64));
+    }
+
+    /// Whether qubit `q` is in the set.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn contains(&self, q: usize) -> bool {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        (self.words[q / 64] >> (q % 64)) & 1 != 0
+    }
+
+    /// Number of qubits in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    /// Panics if the register widths differ.
+    pub fn union_with(&mut self, other: &QubitMask) {
+        assert_eq!(self.n, other.n, "qubit mask width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place union with a string's support — the inner loop of block
+    /// union-support computation, one OR per word.
+    ///
+    /// # Panics
+    /// Panics if the register widths differ.
+    pub fn union_with_support(&mut self, s: &PauliString) {
+        assert_eq!(self.n, s.n_qubits(), "qubit mask width mismatch");
+        for (w, (&x, &z)) in self
+            .words
+            .iter_mut()
+            .zip(s.x_words().iter().zip(s.z_words()))
+        {
+            *w |= x | z;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    /// Panics if the register widths differ.
+    pub fn subtract(&mut self, other: &QubitMask) {
+        assert_eq!(self.n, other.n, "qubit mask width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Size of the intersection, without materializing it.
+    ///
+    /// # Panics
+    /// Panics if the register widths differ.
+    pub fn intersection_count(&self, other: &QubitMask) -> usize {
+        assert_eq!(self.n, other.n, "qubit mask width mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the two sets intersect.
+    ///
+    /// # Panics
+    /// Panics if the register widths differ.
+    pub fn intersects(&self, other: &QubitMask) -> bool {
+        assert_eq!(self.n, other.n, "qubit mask width mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Iterator over the member qubits, ascending (trailing-zeros scan).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        iter_set_bits(self.words.iter().copied())
+    }
+
+    /// The member qubits as a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Display for QubitMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, q) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra_across_word_boundary() {
+        let mut a = QubitMask::empty(130);
+        let mut b = QubitMask::empty(130);
+        for q in [0, 63, 64, 129] {
+            a.insert(q);
+        }
+        for q in [63, 64, 65] {
+            b.insert(q);
+        }
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert_eq!(a.to_vec(), vec![0, 63, 64, 65, 129]);
+        a.subtract(&b);
+        assert_eq!(a.to_vec(), vec![0, 129]);
+        assert!(a.contains(129) && !a.contains(64));
+    }
+
+    #[test]
+    fn support_of_matches_string_support() {
+        let s: PauliString = "XIZIYIIX".parse().unwrap();
+        let m = QubitMask::support_of(&s);
+        assert_eq!(m.to_vec(), s.support().collect::<Vec<_>>());
+        assert_eq!(m.count(), s.weight());
+        assert_eq!(m.to_string(), "{0, 2, 4, 7}");
+    }
+
+    #[test]
+    fn empty_and_display() {
+        let m = QubitMask::empty(5);
+        assert!(m.is_empty());
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.to_string(), "{}");
+    }
+}

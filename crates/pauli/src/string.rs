@@ -1,9 +1,32 @@
-//! Dense Pauli strings (tensor products of single-qubit Paulis).
+//! Bit-packed Pauli strings (tensor products of single-qubit Paulis).
+//!
+//! A string is stored as two bitplanes in the symplectic representation:
+//! word `w` of `x` (resp. `z`) holds the X (resp. Z) bits of qubits
+//! `64·w .. 64·w+63`, least-significant bit first. Every per-qubit scan of
+//! the dense representation becomes a word-parallel kernel: commutation is
+//! the parity of a popcount, products are XORs with the phase tracked from
+//! `x & z` word interactions, weight and support-overlap are popcounts of
+//! `x | z`. These kernels sit under every O(m²) pairwise loop of the
+//! compiler (clustering, scheduling, greedy ordering, the baselines), so
+//! the 64× narrowing of the inner loop compounds across the pipeline.
+//!
+//! The *semantics* — operator access, parsing, printing, ordering, hashing,
+//! fingerprints — are identical to the previous dense `Vec<PauliOp>`
+//! representation; `crate::dense` retains that representation as a
+//! reference implementation for parity tests and microbenchmarks.
 
 use crate::op::PauliOp;
 use crate::phase::Phase;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+
+/// Number of 64-bit words needed for `n` qubits.
+#[inline]
+pub(crate) const fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
 
 /// A tensor product of single-qubit Pauli operators, e.g. `XXYZI`.
 ///
@@ -18,22 +41,33 @@ use std::str::FromStr;
 /// assert_eq!(p.op(2), PauliOp::Y);
 /// assert_eq!(p.support().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PauliString {
-    ops: Vec<PauliOp>,
+    /// Qubit count (bits of `x`/`z` at positions ≥ `n` are always zero).
+    n: usize,
+    /// X bitplane, qubit `q` at bit `q % 64` of word `q / 64`.
+    x: Vec<u64>,
+    /// Z bitplane, same indexing.
+    z: Vec<u64>,
 }
 
 impl PauliString {
     /// The all-identity string on `n` qubits.
     pub fn identity(n: usize) -> Self {
         PauliString {
-            ops: vec![PauliOp::I; n],
+            n,
+            x: vec![0; words_for(n)],
+            z: vec![0; words_for(n)],
         }
     }
 
     /// Builds a string from explicit operators.
     pub fn new(ops: Vec<PauliOp>) -> Self {
-        PauliString { ops }
+        let mut s = PauliString::identity(ops.len());
+        for (q, op) in ops.into_iter().enumerate() {
+            s.set_op(q, op);
+        }
+        s
     }
 
     /// Builds an `n`-qubit string that is identity except at the given sites.
@@ -44,7 +78,7 @@ impl PauliString {
         let mut s = PauliString::identity(n);
         for &(q, op) in sites {
             assert!(q < n, "site {q} out of range for {n} qubits");
-            s.ops[q] = op;
+            s.set_op(q, op);
         }
         s
     }
@@ -52,7 +86,7 @@ impl PauliString {
     /// Number of qubits.
     #[inline]
     pub fn n_qubits(&self) -> usize {
-        self.ops.len()
+        self.n
     }
 
     /// Operator on qubit `q`.
@@ -61,7 +95,9 @@ impl PauliString {
     /// Panics if `q` is out of range.
     #[inline]
     pub fn op(&self, q: usize) -> PauliOp {
-        self.ops[q]
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        let (w, b) = (q / 64, q % 64);
+        PauliOp::from_bits((self.x[w] >> b) & 1 != 0, (self.z[w] >> b) & 1 != 0)
     }
 
     /// Replaces the operator on qubit `q`.
@@ -70,113 +106,209 @@ impl PauliString {
     /// Panics if `q` is out of range.
     #[inline]
     pub fn set_op(&mut self, q: usize, op: PauliOp) {
-        self.ops[q] = op;
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        let (w, b) = (q / 64, q % 64);
+        let bit = 1u64 << b;
+        self.x[w] = (self.x[w] & !bit) | (u64::from(op.x_bit()) << b);
+        self.z[w] = (self.z[w] & !bit) | (u64::from(op.z_bit()) << b);
     }
 
-    /// All operators, in qubit order.
+    /// The X bitplane: word `w` covers qubits `64·w .. 64·w+63`, LSB first.
+    /// Bits at positions ≥ [`n_qubits`](Self::n_qubits) are zero.
     #[inline]
-    pub fn ops(&self) -> &[PauliOp] {
-        &self.ops
+    pub fn x_words(&self) -> &[u64] {
+        &self.x
+    }
+
+    /// The Z bitplane (same indexing as [`x_words`](Self::x_words)).
+    #[inline]
+    pub fn z_words(&self) -> &[u64] {
+        &self.z
+    }
+
+    /// All operators in qubit order, materialized. Prefer
+    /// [`iter_ops`](Self::iter_ops) when a pass-through iteration suffices.
+    pub fn to_ops(&self) -> Vec<PauliOp> {
+        self.iter_ops().collect()
+    }
+
+    /// Iterator over all operators, in qubit order (identities included).
+    pub fn iter_ops(&self) -> impl Iterator<Item = PauliOp> + '_ {
+        (0..self.n).map(move |q| {
+            let (w, b) = (q / 64, q % 64);
+            PauliOp::from_bits((self.x[w] >> b) & 1 != 0, (self.z[w] >> b) & 1 != 0)
+        })
     }
 
     /// Number of non-identity sites — the paper's *active length*.
     pub fn weight(&self) -> usize {
-        self.ops.iter().filter(|o| !o.is_identity()).count()
+        self.x
+            .iter()
+            .zip(&self.z)
+            .map(|(&x, &z)| (x | z).count_ones() as usize)
+            .sum()
     }
 
     /// Whether every site is the identity.
     pub fn is_identity(&self) -> bool {
-        self.ops.iter().all(|o| o.is_identity())
+        self.x.iter().zip(&self.z).all(|(&x, &z)| x | z == 0)
     }
 
-    /// Iterator over the non-identity qubit indices, ascending.
+    /// Iterator over the non-identity qubit indices, ascending — a
+    /// trailing-zeros scan over the `x | z` support words, so sparse
+    /// strings iterate in O(weight + words).
     pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| !o.is_identity())
-            .map(|(q, _)| q)
+        crate::mask::iter_set_bits(self.x.iter().zip(&self.z).map(|(&x, &z)| x | z))
     }
 
     /// Non-identity sites as `(qubit, op)` pairs, ascending by qubit.
     pub fn sparse(&self) -> Vec<(usize, PauliOp)> {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| !o.is_identity())
-            .map(|(q, &o)| (q, o))
-            .collect()
+        self.support().map(|q| (q, self.op(q))).collect()
     }
 
     /// Phase-tracked product: `self · other = phase · result`.
     ///
+    /// Word-parallel: the result bitplanes are XORs; the phase exponent is
+    /// the (mod-4) difference between the popcounts of the `+i` and `−i`
+    /// site masks, where a site contributes `+i` for the cyclic pairs
+    /// `X·Y`, `Y·Z`, `Z·X` and `−i` for their transposes.
+    ///
     /// # Panics
     /// Panics if the strings act on different qubit counts.
     pub fn mul(&self, other: &PauliString) -> (Phase, PauliString) {
-        assert_eq!(
-            self.n_qubits(),
-            other.n_qubits(),
-            "pauli string length mismatch"
-        );
-        let mut phase = Phase::One;
-        let ops = self
-            .ops
-            .iter()
-            .zip(&other.ops)
-            .map(|(&a, &b)| {
-                let (p, r) = a.mul(b);
-                phase = phase * p;
-                r
-            })
-            .collect();
-        (phase, PauliString { ops })
+        assert_eq!(self.n, other.n, "pauli string length mismatch");
+        let mut x = Vec::with_capacity(self.x.len());
+        let mut z = Vec::with_capacity(self.z.len());
+        let mut exponent = 0i64;
+        for w in 0..self.x.len() {
+            let (x1, z1) = (self.x[w], self.z[w]);
+            let (x2, z2) = (other.x[w], other.z[w]);
+            // +i sites: (X,Y) (Y,Z) (Z,X); −i sites: the transposed pairs.
+            let plus = (x1 & !z1 & x2 & z2) | (x1 & z1 & !x2 & z2) | (!x1 & z1 & x2 & !z2);
+            let minus = (x1 & z1 & x2 & !z2) | (!x1 & z1 & x2 & z2) | (x1 & !z1 & !x2 & z2);
+            exponent += plus.count_ones() as i64 - minus.count_ones() as i64;
+            x.push(x1 ^ x2);
+            z.push(z1 ^ z2);
+        }
+        (
+            Phase::from_exponent(exponent),
+            PauliString { n: self.n, x, z },
+        )
     }
 
     /// Whether two strings commute as operators.
     ///
-    /// Strings commute iff they anticommute on an even number of sites.
+    /// Strings commute iff they anticommute on an even number of sites —
+    /// the parity of the symplectic product, one XOR/AND/popcount per word.
     ///
     /// # Panics
     /// Panics if the strings act on different qubit counts.
     pub fn commutes_with(&self, other: &PauliString) -> bool {
-        assert_eq!(
-            self.n_qubits(),
-            other.n_qubits(),
-            "pauli string length mismatch"
-        );
-        let anti = self
-            .ops
-            .iter()
-            .zip(&other.ops)
-            .filter(|(&a, &b)| !a.commutes_with(b))
-            .count();
-        anti % 2 == 0
+        self.anticommuting_sites(other).is_multiple_of(2)
+    }
+
+    /// Number of sites where the two strings anticommute (both non-identity
+    /// and different). The strings commute as operators iff this is even.
+    ///
+    /// # Panics
+    /// Panics if the strings act on different qubit counts.
+    pub fn anticommuting_sites(&self, other: &PauliString) -> usize {
+        assert_eq!(self.n, other.n, "pauli string length mismatch");
+        let mut count = 0usize;
+        for w in 0..self.x.len() {
+            let anti = (self.x[w] & other.z[w]) ^ (self.z[w] & other.x[w]);
+            count += anti.count_ones() as usize;
+        }
+        count
     }
 
     /// Number of sites where both strings carry the same non-identity
     /// operator — the raw ingredient of the paper's block-similarity metric.
+    ///
+    /// # Panics
+    /// Panics if the strings act on different qubit counts.
     pub fn common_weight(&self, other: &PauliString) -> usize {
-        self.ops
-            .iter()
-            .zip(&other.ops)
-            .filter(|(&a, &b)| !a.is_identity() && a == b)
-            .count()
+        assert_eq!(self.n, other.n, "pauli string length mismatch");
+        let mut count = 0usize;
+        for w in 0..self.x.len() {
+            let same = !((self.x[w] ^ other.x[w]) | (self.z[w] ^ other.z[w]));
+            let active = self.x[w] | self.z[w];
+            count += (same & active).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Whether the supports of the two strings intersect (some qubit is
+    /// non-identity in both) — cheaper than materializing either support.
+    ///
+    /// # Panics
+    /// Panics if the strings act on different qubit counts.
+    pub fn supports_overlap(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n, other.n, "pauli string length mismatch");
+        (0..self.x.len()).any(|w| (self.x[w] | self.z[w]) & (other.x[w] | other.z[w]) != 0)
     }
 
     /// Extends the string with identities up to `n` qubits (no-op if already
     /// at least that long).
     pub fn padded_to(&self, n: usize) -> PauliString {
-        let mut ops = self.ops.clone();
-        while ops.len() < n {
-            ops.push(PauliOp::I);
+        if n <= self.n {
+            return self.clone();
         }
-        PauliString { ops }
+        let mut s = self.clone();
+        s.n = n;
+        s.x.resize(words_for(n), 0);
+        s.z.resize(words_for(n), 0);
+        s
+    }
+}
+
+impl Hash for PauliString {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Trailing bits beyond `n` are zero by invariant, so hashing the
+        // word vectors is consistent with `Eq`.
+        self.n.hash(state);
+        self.x.hash(state);
+        self.z.hash(state);
+    }
+}
+
+impl PartialOrd for PauliString {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PauliString {
+    /// Lexicographic by per-qubit operator (`I < X < Z < Y`, the symplectic
+    /// discriminant order of [`PauliOp`]), then by length — exactly the
+    /// ordering the previous `Vec<PauliOp>` representation derived. The
+    /// first differing qubit is located word-parallel via trailing-zeros of
+    /// the XORed bitplanes.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let min_n = self.n.min(other.n);
+        let mut w = 0;
+        let mut covered = 0;
+        while covered < min_n {
+            let mut diff = (self.x[w] ^ other.x[w]) | (self.z[w] ^ other.z[w]);
+            let in_word = (min_n - covered).min(64);
+            if in_word < 64 {
+                diff &= (1u64 << in_word) - 1;
+            }
+            if diff != 0 {
+                let b = diff.trailing_zeros();
+                let code = |x: &[u64], z: &[u64]| ((x[w] >> b) & 1) | (((z[w] >> b) & 1) << 1);
+                return code(&self.x, &self.z).cmp(&code(&other.x, &other.z));
+            }
+            covered += in_word;
+            w += 1;
+        }
+        self.n.cmp(&other.n)
     }
 }
 
 impl fmt::Display for PauliString {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for op in &self.ops {
+        for op in self.iter_ops() {
             write!(f, "{op}")?;
         }
         Ok(())
@@ -205,11 +337,12 @@ impl FromStr for PauliString {
     type Err = ParsePauliStringError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let ops = s
-            .chars()
-            .map(|c| PauliOp::from_char(c).ok_or(ParsePauliStringError { offending: c }))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(PauliString { ops })
+        let mut out = PauliString::identity(s.chars().count());
+        for (q, c) in s.chars().enumerate() {
+            let op = PauliOp::from_char(c).ok_or(ParsePauliStringError { offending: c })?;
+            out.set_op(q, op);
+        }
+        Ok(out)
     }
 }
 
@@ -255,11 +388,29 @@ mod tests {
     }
 
     #[test]
+    fn word_parallel_phase_matches_per_site_product() {
+        // Every ordered operator pair on one site, checked against the
+        // scalar PauliOp product table.
+        for a in PauliOp::ALL {
+            for b in PauliOp::ALL {
+                let sa = PauliString::from_sparse(1, &[(0, a)]);
+                let sb = PauliString::from_sparse(1, &[(0, b)]);
+                let (expect_phase, expect_op) = a.mul(b);
+                let (phase, r) = sa.mul(&sb);
+                assert_eq!(phase, expect_phase, "{a}·{b}");
+                assert_eq!(r.op(0), expect_op, "{a}·{b}");
+            }
+        }
+    }
+
+    #[test]
     fn commutation_via_anticommuting_site_parity() {
         assert!(ps("XX").commutes_with(&ps("YY"))); // 2 anticommuting sites
         assert!(!ps("XI").commutes_with(&ps("YI"))); // 1 anticommuting site
         assert!(ps("XYZ").commutes_with(&ps("XYZ")));
         assert!(ps("ZZI").commutes_with(&ps("IZZ")));
+        assert_eq!(ps("XX").anticommuting_sites(&ps("YY")), 2);
+        assert_eq!(ps("XYZ").anticommuting_sites(&ps("XYZ")), 0);
     }
 
     #[test]
@@ -282,5 +433,55 @@ mod tests {
     fn padding() {
         assert_eq!(ps("XY").padded_to(4).to_string(), "XYII");
         assert_eq!(ps("XY").padded_to(1).to_string(), "XY");
+    }
+
+    #[test]
+    fn support_overlap() {
+        assert!(ps("XII").supports_overlap(&ps("ZII")));
+        assert!(!ps("XII").supports_overlap(&ps("IZZ")));
+    }
+
+    #[test]
+    fn kernels_straddle_word_boundaries() {
+        // 65 qubits: non-identity sites at 0, 63 and 64 exercise both the
+        // full first word and the 1-bit tail word.
+        let a =
+            PauliString::from_sparse(65, &[(0, PauliOp::X), (63, PauliOp::Y), (64, PauliOp::Z)]);
+        let b =
+            PauliString::from_sparse(65, &[(0, PauliOp::X), (63, PauliOp::Z), (64, PauliOp::Z)]);
+        assert_eq!(a.weight(), 3);
+        assert_eq!(a.support().collect::<Vec<_>>(), vec![0, 63, 64]);
+        assert_eq!(a.common_weight(&b), 2); // sites 0 and 64
+        assert_eq!(a.anticommuting_sites(&b), 1); // site 63: Y vs Z
+        assert!(!a.commutes_with(&b));
+        let (_, r) = a.mul(&b);
+        assert_eq!(r.op(63), PauliOp::X); // Y·Z = iX
+        assert!(r.op(0).is_identity());
+        assert!(r.op(64).is_identity());
+    }
+
+    #[test]
+    fn ordering_matches_dense_lexicographic() {
+        // I < X < Z < Y (symplectic discriminant order), elementwise, then
+        // by length — the derived order of the old Vec<PauliOp> repr.
+        assert!(ps("I") < ps("X"));
+        assert!(ps("X") < ps("Z"));
+        assert!(ps("Z") < ps("Y"));
+        assert!(ps("XI") < ps("XX"));
+        assert!(ps("XY") < ps("YI"));
+        assert!(ps("XY") < ps("XYI")); // prefix is smaller
+        assert_eq!(ps("XYZ").cmp(&ps("XYZ")), Ordering::Equal);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ps("XYZI"));
+        set.insert(ps("XYZI"));
+        set.insert(ps("XYZ"));
+        assert_eq!(set.len(), 2);
+        // A padded string differs from its unpadded form (length matters).
+        assert!(set.contains(&ps("XYZ").padded_to(4)));
     }
 }

@@ -1,0 +1,78 @@
+//! Golden-fingerprint regression tests.
+//!
+//! The engine's `ResultCache` keys are content fingerprints of the
+//! Hamiltonian/IR; they must survive internal-representation changes or a
+//! process restart silently invalidates (or worse, mis-serves) every cached
+//! compile. The constants below were captured from the dense `Vec<PauliOp>`
+//! string representation *before* the bit-packed bitplane rewrite — the
+//! packed representation must reproduce them bit-for-bit.
+
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::ir::TetrisIr;
+use tetris_pauli::molecules::Molecule;
+use tetris_pauli::{Hamiltonian, PauliBlock, PauliTerm};
+
+/// `Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner).fingerprint()`
+/// on the pre-packing representation.
+const LIH_JW_GOLDEN: u64 = 0xf162_0d12_78f8_3b40;
+
+/// `Molecule::BeH2.uccsd_hamiltonian(Encoding::BravyiKitaev).fingerprint()`
+/// on the pre-packing representation.
+const BEH2_BK_GOLDEN: u64 = 0x5c4a_364e_225c_1c0c;
+
+/// The hand-built two-block Hamiltonian below, pre-packing.
+const HAND_GOLDEN: u64 = 0x2449_b4a2_a747_a51b;
+
+fn hand_built() -> Hamiltonian {
+    Hamiltonian::new(
+        5,
+        vec![
+            PauliBlock::new(
+                vec![
+                    PauliTerm::new("YZZZY".parse().unwrap(), 0.5),
+                    PauliTerm::new("XZZZX".parse().unwrap(), -0.5),
+                ],
+                0.3,
+                "b0",
+            ),
+            PauliBlock::new(
+                vec![PauliTerm::new("IZZII".parse().unwrap(), 1.0)],
+                0.7,
+                "b1",
+            ),
+        ],
+        "hand",
+    )
+}
+
+#[test]
+fn lih_jw_fingerprint_is_stable_across_representations() {
+    let h = Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner);
+    assert_eq!(h.fingerprint(), LIH_JW_GOLDEN);
+    // Lowering is fingerprint-transparent.
+    assert_eq!(TetrisIr::from_hamiltonian(&h).fingerprint(), LIH_JW_GOLDEN);
+}
+
+#[test]
+fn beh2_bk_fingerprint_is_stable_across_representations() {
+    let h = Molecule::BeH2.uccsd_hamiltonian(Encoding::BravyiKitaev);
+    assert_eq!(h.fingerprint(), BEH2_BK_GOLDEN);
+}
+
+#[test]
+fn hand_built_fingerprint_is_stable_across_representations() {
+    let h = hand_built();
+    assert_eq!(h.fingerprint(), HAND_GOLDEN);
+    assert_eq!(TetrisIr::from_hamiltonian(&h).fingerprint(), HAND_GOLDEN);
+}
+
+#[test]
+fn fingerprint_still_sees_operator_mutations() {
+    // The golden pins above would also pass if fingerprints collapsed to a
+    // constant; make sure a single-operator change still moves the digest.
+    let mut h = hand_built();
+    h.blocks[0].terms[0]
+        .string
+        .set_op(2, tetris_pauli::PauliOp::Y);
+    assert_ne!(h.fingerprint(), HAND_GOLDEN);
+}

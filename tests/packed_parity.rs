@@ -1,0 +1,242 @@
+//! Parity property tests: the bit-packed `PauliString` kernels must agree
+//! with the dense one-op-per-site reference (`tetris::pauli::dense`) —
+//! operators, phases, ordering, hashing — on random strings, including
+//! widths that straddle the 64-bit word boundary (63/64/65) and multi-word
+//! registers.
+//!
+//! Seeded and dependency-free per the workspace convention (no proptest in
+//! the offline build); every case is reproducible by construction.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use tetris::pauli::dense::DenseString;
+use tetris::pauli::rng::rngs::StdRng;
+use tetris::pauli::rng::{Rng, SeedableRng};
+use tetris::pauli::{PauliOp, PauliString};
+
+const CASES: usize = 48;
+
+/// Widths chosen to hit sub-word, exact-word, word-straddling and
+/// multi-word layouts.
+const WIDTHS: [usize; 9] = [1, 2, 5, 16, 63, 64, 65, 128, 200];
+
+fn rand_ops(rng: &mut StdRng, n: usize) -> Vec<PauliOp> {
+    (0..n)
+        .map(|_| match rng.gen_range(0..4usize) {
+            0 => PauliOp::I,
+            1 => PauliOp::X,
+            2 => PauliOp::Y,
+            _ => PauliOp::Z,
+        })
+        .collect()
+}
+
+fn pair(rng: &mut StdRng, n: usize) -> (DenseString, PauliString) {
+    let d = DenseString::new(rand_ops(rng, n));
+    let p = d.to_packed();
+    (d, p)
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[test]
+fn unary_kernels_match_dense() {
+    let mut rng = StdRng::seed_from_u64(0xb1);
+    for n in WIDTHS {
+        for _ in 0..CASES {
+            let (d, p) = pair(&mut rng, n);
+            assert_eq!(p.n_qubits(), d.n_qubits());
+            assert_eq!(p.weight(), d.weight(), "weight @ {n}");
+            assert_eq!(p.is_identity(), d.is_identity(), "is_identity @ {n}");
+            assert_eq!(
+                p.support().collect::<Vec<_>>(),
+                d.support(),
+                "support @ {n}"
+            );
+            for q in 0..n {
+                assert_eq!(p.op(q), d.op(q), "op({q}) @ {n}");
+            }
+            assert_eq!(p.to_ops(), d.ops(), "to_ops @ {n}");
+            assert_eq!(
+                p.sparse(),
+                d.support()
+                    .into_iter()
+                    .map(|q| (q, d.op(q)))
+                    .collect::<Vec<_>>(),
+                "sparse @ {n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn product_matches_dense_ops_and_phase() {
+    let mut rng = StdRng::seed_from_u64(0xb2);
+    for n in WIDTHS {
+        for _ in 0..CASES {
+            let (da, pa) = pair(&mut rng, n);
+            let (db, pb) = pair(&mut rng, n);
+            let (dense_phase, dense_r) = da.mul(&db);
+            let (packed_phase, packed_r) = pa.mul(&pb);
+            assert_eq!(packed_phase, dense_phase, "phase @ {n}");
+            assert_eq!(
+                DenseString::from_packed(&packed_r),
+                dense_r,
+                "product ops @ {n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn commutation_and_overlap_match_dense() {
+    let mut rng = StdRng::seed_from_u64(0xb3);
+    for n in WIDTHS {
+        for _ in 0..CASES {
+            let (da, pa) = pair(&mut rng, n);
+            let (db, pb) = pair(&mut rng, n);
+            assert_eq!(
+                pa.commutes_with(&pb),
+                da.commutes_with(&db),
+                "commutes @ {n}"
+            );
+            assert_eq!(
+                pa.common_weight(&pb),
+                da.common_weight(&db),
+                "common_weight @ {n}"
+            );
+            // Anticommuting-site count against a per-site scan.
+            let anti = (0..n)
+                .filter(|&q| !da.op(q).commutes_with(db.op(q)))
+                .count();
+            assert_eq!(pa.anticommuting_sites(&pb), anti, "anti sites @ {n}");
+            // Support overlap against materialized supports.
+            let overlap = da.support().iter().any(|q| !db.op(*q).is_identity());
+            assert_eq!(pa.supports_overlap(&pb), overlap, "overlap @ {n}");
+        }
+    }
+}
+
+#[test]
+fn ordering_matches_dense_derive() {
+    // DenseString derives Ord on Vec<PauliOp> — exactly the ordering the
+    // packed representation must reproduce (including across lengths).
+    let mut rng = StdRng::seed_from_u64(0xb4);
+    for _ in 0..CASES {
+        for &na in &WIDTHS {
+            for &nb in &[na, na + 1, 63, 64, 65] {
+                let (da, pa) = pair(&mut rng, na);
+                let (db, pb) = pair(&mut rng, nb);
+                // Slice Ord is elementwise-then-length — the old derive.
+                assert_eq!(
+                    pa.cmp(&pb),
+                    da.ops().cmp(db.ops()),
+                    "cmp {na} vs {nb}: {pa} vs {pb}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn near_identical_strings_order_by_single_site() {
+    // Adversarial for the word-parallel compare: strings differing at
+    // exactly one site, including the last bit of a word and the first bit
+    // of the next.
+    let mut rng = StdRng::seed_from_u64(0xb5);
+    for n in [63usize, 64, 65, 130] {
+        for _ in 0..CASES {
+            let ops = rand_ops(&mut rng, n);
+            let q = rng.gen_range(0..n);
+            let mut other = ops.clone();
+            other[q] = match other[q] {
+                PauliOp::I => PauliOp::X,
+                PauliOp::X => PauliOp::Z,
+                PauliOp::Z => PauliOp::Y,
+                PauliOp::Y => PauliOp::I,
+            };
+            let a = PauliString::new(ops.clone());
+            let b = PauliString::new(other.clone());
+            assert_eq!(a.cmp(&b), ops.cmp(&other), "single-site diff @ {q}/{n}");
+            assert_ne!(a, b);
+        }
+    }
+}
+
+#[test]
+fn hash_agrees_with_eq_across_construction_paths() {
+    let mut rng = StdRng::seed_from_u64(0xb6);
+    for n in WIDTHS {
+        for _ in 0..CASES {
+            let ops = rand_ops(&mut rng, n);
+            // Three construction paths for the same string.
+            let via_new = PauliString::new(ops.clone());
+            let via_parse: PauliString = via_new.to_string().parse().unwrap();
+            let mut via_set = PauliString::identity(n);
+            for (q, &op) in ops.iter().enumerate() {
+                via_set.set_op(q, op);
+            }
+            assert_eq!(via_new, via_parse);
+            assert_eq!(via_new, via_set);
+            assert_eq!(hash_of(&via_new), hash_of(&via_parse));
+            assert_eq!(hash_of(&via_new), hash_of(&via_set));
+            // And a mutated copy differs (clearing a site to I via set_op
+            // must also clear both planes' bits — stale bits would break
+            // Eq/Hash).
+            if n > 0 {
+                let q = rng.gen_range(0..n);
+                let mut mutated = via_new.clone();
+                mutated.set_op(
+                    q,
+                    if ops[q] == PauliOp::I {
+                        PauliOp::Y
+                    } else {
+                        PauliOp::I
+                    },
+                );
+                assert_ne!(mutated, via_new);
+                assert_eq!(mutated.op(q).is_identity(), ops[q] != PauliOp::I);
+            }
+        }
+    }
+}
+
+#[test]
+fn display_parse_round_trip_across_word_boundaries() {
+    let mut rng = StdRng::seed_from_u64(0xb7);
+    for n in WIDTHS {
+        for _ in 0..8 {
+            let (d, p) = pair(&mut rng, n);
+            let text = p.to_string();
+            assert_eq!(text.len(), n);
+            assert_eq!(
+                text,
+                d.ops().iter().map(|o| o.to_char()).collect::<String>()
+            );
+            assert_eq!(text.parse::<PauliString>().unwrap(), p);
+        }
+    }
+}
+
+#[test]
+fn padding_preserves_prefix_and_extends_identity() {
+    let mut rng = StdRng::seed_from_u64(0xb8);
+    for n in [5usize, 63, 64, 65] {
+        for target in [n, n + 1, n + 63, n + 64, n + 65] {
+            let (d, p) = pair(&mut rng, n);
+            let padded = p.padded_to(target);
+            assert_eq!(padded.n_qubits(), target.max(n));
+            for q in 0..n {
+                assert_eq!(padded.op(q), d.op(q));
+            }
+            for q in n..padded.n_qubits() {
+                assert!(padded.op(q).is_identity());
+            }
+            assert_eq!(padded.weight(), p.weight());
+        }
+    }
+}
