@@ -121,8 +121,18 @@ pub fn json_report(threads: usize, passes: &[SuitePass]) -> String {
         );
         let _ = writeln!(
             out,
-            "      \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {} }},",
-            p.cache.hits, p.cache.misses, p.cache.evictions, p.cache.entries
+            "      \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
+             \"disk_hits\": {}, \"disk_misses\": {}, \"disk_stores\": {}, \"disk_store_errors\": {}, \
+             \"disk_hit_ratio\": {:.4} }},",
+            p.cache.hits,
+            p.cache.misses,
+            p.cache.evictions,
+            p.cache.entries,
+            p.cache.disk_hits,
+            p.cache.disk_misses,
+            p.cache.disk_stores,
+            p.cache.disk_store_errors,
+            p.cache.disk_hit_ratio()
         );
         let _ = writeln!(out, "      \"results\": [");
         for (ri, r) in p.results.iter().enumerate() {

@@ -12,7 +12,7 @@ use tetris_topology::{CouplingGraph, Layout};
 /// [`tetris_core::CompileResult`] and
 /// [`tetris_baselines::BaselineResult`], so batches mixing Tetris and
 /// baselines compare like for like.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineOutput {
     /// Compiler name as reported in tables (e.g. `Tetris`, `PCOAST`).
     pub compiler: String,

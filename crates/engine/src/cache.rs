@@ -5,34 +5,65 @@
 //! backend parameters → same key → the stored [`EngineOutput`] is returned
 //! without touching a compiler. Values are `Arc`-shared, so a hit costs a
 //! pointer clone regardless of circuit size.
+//!
+//! The cache is tiered. The memory tier is always present; an optional
+//! [`DiskCache`] tier underneath it makes results survive the process:
+//! lookups read through (memory → disk → compiler, promoting disk hits
+//! into memory) and insertions write through (memory + disk), so a second
+//! *process* pointed at the same results directory starts warm.
 
 use crate::backend::EngineOutput;
+use crate::disk::DiskCache;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Cumulative cache counters. Cheap to read at any time; the engine's JSON
-/// report embeds them.
+/// Cumulative cache counters, per tier. Cheap to read at any time; the
+/// engine's JSON report embeds them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from memory.
     pub hits: u64,
-    /// Lookups that fell through to a compiler.
+    /// Lookups that fell through the memory tier (and, when no disk tier
+    /// is configured or the disk also missed, on to a compiler).
     pub misses: u64,
-    /// Entries displaced after the cache reached capacity.
+    /// Entries displaced after the memory tier reached capacity.
     pub evictions: u64,
-    /// Entries currently resident.
+    /// Entries currently resident in memory.
     pub entries: usize,
+    /// Memory-tier misses served by the disk tier (0 without one).
+    pub disk_hits: u64,
+    /// Memory-tier misses the disk tier could not serve — no file, or a
+    /// corrupt/truncated/foreign one (0 without a disk tier).
+    pub disk_misses: u64,
+    /// Results written to the disk tier.
+    pub disk_stores: u64,
+    /// Disk writes that failed (the engine keeps running on memory alone).
+    pub disk_store_errors: u64,
 }
 
 impl CacheStats {
-    /// Hit fraction over all lookups (0 when no lookup happened yet).
+    /// Hit fraction over all lookups, counting a hit in *any* tier
+    /// (0 when no lookup happened yet).
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.disk_hits) as f64 / total as f64
+        }
+    }
+
+    /// Hit fraction of the disk tier alone, over the lookups that reached
+    /// it (0 when none did). This is the number a warm second-process run
+    /// is judged by.
+    pub fn disk_hit_ratio(&self) -> f64 {
+        let total = self.disk_hits + self.disk_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / total as f64
         }
     }
 }
@@ -44,7 +75,8 @@ struct Entry {
 }
 
 /// A bounded, thread-safe, content-addressed map from job fingerprints to
-/// compilation outputs with least-recently-used eviction.
+/// compilation outputs with least-recently-used eviction, optionally backed
+/// by a persistent [`DiskCache`] tier.
 pub struct ResultCache {
     map: Mutex<HashMap<u64, Entry>>,
     capacity: usize,
@@ -52,6 +84,7 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    disk: Option<DiskCache>,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -65,8 +98,9 @@ impl std::fmt::Debug for ResultCache {
 }
 
 impl ResultCache {
-    /// Creates a cache holding at most `capacity` results (a capacity of 0
-    /// disables caching: every lookup misses and nothing is stored).
+    /// Creates a memory-only cache holding at most `capacity` results (a
+    /// capacity of 0 disables the memory tier: every lookup misses and
+    /// nothing is retained in memory).
     pub fn new(capacity: usize) -> Self {
         ResultCache {
             map: Mutex::new(HashMap::new()),
@@ -75,32 +109,69 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            disk: None,
         }
     }
 
-    /// Looks up `key`, bumping its recency on a hit.
+    /// Creates a cache with a persistent disk tier rooted at `dir`
+    /// (created if missing). Lookups read through memory → disk, insertions
+    /// write through to both; a later process pointed at the same
+    /// directory is served from disk instead of the compilers.
+    pub fn with_disk(capacity: usize, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let mut cache = ResultCache::new(capacity);
+        cache.disk = Some(DiskCache::open(dir)?);
+        Ok(cache)
+    }
+
+    /// The disk tier, when one is configured.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// Looks up `key`: memory first (bumping recency on a hit), then the
+    /// disk tier. A disk hit is decoded, promoted into the memory tier
+    /// (without being rewritten to disk) and returned; corrupt or missing
+    /// files are plain misses.
     pub fn get(&self, key: u64) -> Option<Arc<EngineOutput>> {
-        let mut map = self.map.lock().expect("cache lock");
-        match map.get_mut(&key) {
-            Some(entry) => {
-                entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.output.clone())
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        {
+            let mut map = self.map.lock().expect("cache lock");
+            match map.get_mut(&key) {
+                Some(entry) => {
+                    entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(entry.output.clone());
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
+        // Fall through to disk outside the map lock: decoding a large
+        // circuit must not serialize other workers' memory lookups.
+        let disk = self.disk.as_ref()?;
+        let output = Arc::new(disk.load(key)?);
+        self.insert_in_memory(key, output.clone());
+        Some(output)
     }
 
-    /// Inserts a result under `key`, evicting the least-recently-used entry
-    /// if the cache is full. Re-inserting an existing key refreshes the
-    /// value without eviction. Returns the stored handle.
+    /// Inserts a result under `key` in every tier: the memory map (evicting
+    /// the least-recently-used entry if full) and, when configured, the
+    /// disk directory. Re-inserting an existing key refreshes the value
+    /// without eviction. Returns the stored handle.
     pub fn insert(&self, key: u64, output: EngineOutput) -> Arc<EngineOutput> {
         let output = Arc::new(output);
+        if let Some(disk) = &self.disk {
+            disk.store(key, &output);
+        }
+        self.insert_in_memory(key, output.clone());
+        output
+    }
+
+    /// The memory-tier half of an insertion (shared by write-through
+    /// inserts and disk-hit promotion).
+    fn insert_in_memory(&self, key: u64, output: Arc<EngineOutput>) {
         if self.capacity == 0 {
-            return output;
+            return;
         }
         let mut map = self.map.lock().expect("cache lock");
         if !map.contains_key(&key) && map.len() >= self.capacity {
@@ -115,24 +186,29 @@ impl ResultCache {
         map.insert(
             key,
             Entry {
-                output: output.clone(),
+                output,
                 last_used: self.clock.fetch_add(1, Ordering::Relaxed),
             },
         );
-        output
     }
 
-    /// Current counters.
+    /// Current counters across both tiers.
     pub fn stats(&self) -> CacheStats {
+        let disk = self.disk.as_ref().map(|d| d.stats()).unwrap_or_default();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.map.lock().expect("cache lock").len(),
+            disk_hits: disk.hits,
+            disk_misses: disk.misses,
+            disk_stores: disk.stores,
+            disk_store_errors: disk.store_errors,
         }
     }
 
-    /// Drops every entry (counters are preserved).
+    /// Drops every memory-tier entry (counters and disk files are
+    /// preserved — the next lookup reads through to disk again).
     pub fn clear(&self) {
         self.map.lock().expect("cache lock").clear();
     }
@@ -188,6 +264,34 @@ mod tests {
         cache.insert(1, output(1));
         assert!(cache.get(1).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn disk_tier_reads_through_and_promotes() {
+        let dir = std::env::temp_dir().join(format!("tetris-cache-tier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_disk(4, &dir).expect("open");
+        assert!(cache.get(5).is_none(), "cold: both tiers miss");
+        cache.insert(5, output(5));
+        assert_eq!(cache.stats().disk_stores, 1, "write-through to disk");
+
+        // A fresh cache over the same directory models a process restart:
+        // the memory tier is empty, the disk tier serves the result.
+        let restarted = ResultCache::with_disk(4, &dir).expect("open");
+        let served = restarted.get(5).expect("disk hit");
+        assert_eq!(served.stats.original_cnots, 5);
+        let s = restarted.stats();
+        assert_eq!((s.hits, s.misses, s.disk_hits, s.disk_misses), (0, 1, 1, 0));
+        assert!((s.disk_hit_ratio() - 1.0).abs() < 1e-12);
+        assert!((s.hit_ratio() - 1.0).abs() < 1e-12, "disk hits count");
+
+        // The disk hit was promoted: the next lookup is a memory hit and
+        // does not touch the disk counters again.
+        let _ = restarted.get(5).expect("memory hit");
+        let s = restarted.stats();
+        assert_eq!((s.hits, s.disk_hits), (1, 1));
+        assert_eq!(s.entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! The file-backed cache tier.
+//!
+//! One file per result, named by the 16-hex-digit content fingerprint
+//! (`<key>.teoc`), in a flat directory the operator points the engine at.
+//! Stores go through a temp file + rename so a crashed or concurrent
+//! writer can never leave a half-written file under a valid name; loads
+//! route every I/O or decode failure into a plain miss — a corrupt cache
+//! directory degrades throughput, never correctness.
+
+use crate::backend::EngineOutput;
+use crate::codec::{decode_output, encode_output};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of the disk tier, mirrored into
+/// [`CacheStats`](crate::CacheStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Loads that produced a usable result.
+    pub hits: u64,
+    /// Loads that found no file, or a file that failed to decode.
+    pub misses: u64,
+    /// Results written to the directory.
+    pub stores: u64,
+    /// Stores that failed (full disk, permissions, …) — the engine keeps
+    /// running on the memory tier alone.
+    pub store_errors: u64,
+}
+
+/// The persistent tier under [`ResultCache`](crate::ResultCache): a results
+/// directory keyed by hex content fingerprint.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    store_errors: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a results directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The results directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key is stored under: `<dir>/<16-hex-digit key>.teoc`.
+    pub fn path_of(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.teoc"))
+    }
+
+    /// Loads the result stored under `key`. Any failure — no file, short
+    /// file, flipped bits, foreign content, unreadable directory — is a
+    /// miss, never an error or a panic.
+    pub fn load(&self, key: u64) -> Option<EngineOutput> {
+        let loaded = std::fs::read(self.path_of(key))
+            .ok()
+            .and_then(|bytes| decode_output(&bytes).ok());
+        match loaded {
+            Some(output) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(output)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `output` under `key`, atomically: the encoded bytes land in a
+    /// process-unique temp file first and are renamed over the final name,
+    /// so concurrent readers (and writers racing on the same key) only ever
+    /// observe complete files. Write failures are counted and swallowed —
+    /// persistence is an optimization, not a correctness requirement.
+    pub fn store(&self, key: u64, output: &EngineOutput) {
+        // Globally unique temp name: two threads of one process storing the
+        // same key must not share a temp path, or one could rename the
+        // other's half-written file into place.
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let bytes = encode_output(output);
+        let tmp = self.dir.join(format!(
+            ".{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let committed = std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, self.path_of(key)))
+            .is_ok();
+        if committed {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+            self.store_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of committed result files currently in the directory.
+    pub fn entries(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "teoc"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_circuit::{Circuit, Gate};
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tetris-disk-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn output(tag: usize) -> EngineOutput {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::H(tag % 3));
+        circuit.push(Gate::Cnot(0, 1));
+        EngineOutput {
+            compiler: format!("c{tag}"),
+            circuit,
+            stats: Default::default(),
+            final_layout: None,
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let disk = DiskCache::open(unique_dir("rt")).expect("open");
+        assert!(disk.load(7).is_none());
+        disk.store(7, &output(1));
+        let loaded = disk.load(7).expect("hit");
+        assert_eq!(loaded.compiler, "c1");
+        assert_eq!(loaded.circuit, output(1).circuit);
+        let s = disk.stats();
+        assert_eq!((s.hits, s.misses, s.stores, s.store_errors), (1, 1, 1, 0));
+        assert_eq!(disk.entries(), 1);
+        let _ = std::fs::remove_dir_all(disk.dir());
+    }
+
+    #[test]
+    fn corrupt_file_is_a_miss() {
+        let disk = DiskCache::open(unique_dir("corrupt")).expect("open");
+        disk.store(9, &output(2));
+        std::fs::write(disk.path_of(9), b"TEOCgarbage").expect("overwrite");
+        assert!(disk.load(9).is_none(), "corrupt file must miss");
+        // A rewrite heals the slot.
+        disk.store(9, &output(2));
+        assert!(disk.load(9).is_some());
+        let _ = std::fs::remove_dir_all(disk.dir());
+    }
+
+    #[test]
+    fn unwritable_directory_counts_store_errors() {
+        // A file where the directory should be: every store fails, loads
+        // miss, nothing panics.
+        let dir = unique_dir("unwritable");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let inner = dir.join("blocked");
+        std::fs::write(&inner, b"file, not a dir").expect("write");
+        assert!(DiskCache::open(&inner).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

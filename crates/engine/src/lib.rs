@@ -14,10 +14,15 @@
 //!   channels: a batch of [`CompileJob`]s is fanned out over N workers and
 //!   the results are returned in submission order. Compilation is pure, so
 //!   a parallel batch is bit-identical to a serial one.
-//! * **A content-addressed cache** ([`cache::ResultCache`]) keyed by a
-//!   stable 64-bit fingerprint of the job's semantic content
+//! * **A tiered content-addressed cache** ([`cache::ResultCache`]) keyed
+//!   by a stable 64-bit fingerprint of the job's semantic content
 //!   ([`CompileJob::cache_key`]): repeated points are served from memory
-//!   instead of the compiler, with hit/miss/eviction accounting.
+//!   instead of the compiler, with per-tier hit/miss accounting. An
+//!   optional **disk tier** ([`disk::DiskCache`], enabled via
+//!   [`EngineConfig::cache_dir`]) persists results as versioned binary
+//!   files ([`codec`]) keyed by hex fingerprint, so a second *process*
+//!   pointed at the same directory starts warm — corrupt or truncated
+//!   files degrade to misses, never errors.
 //! * **A pluggable backend** ([`Backend`]) putting the Tetris compiler and
 //!   every baseline (`paulihedral`, `max_cancel`, `pcoast_like`, `generic`,
 //!   `qaoa_2qan`) behind one [`CompileBackend`] trait, so a single batch
@@ -31,7 +36,7 @@
 //! use tetris_topology::CouplingGraph;
 //! use tetris_core::TetrisConfig;
 //!
-//! let engine = Engine::new(EngineConfig { threads: 2, cache_capacity: 256 });
+//! let engine = Engine::new(EngineConfig { threads: 2, cache_capacity: 256, cache_dir: None });
 //! let ham = Arc::new(Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner));
 //! let graph = Arc::new(CouplingGraph::heavy_hex_65());
 //! let jobs: Vec<CompileJob> = [
@@ -52,10 +57,14 @@
 
 pub mod backend;
 pub mod cache;
+pub mod codec;
+pub mod disk;
 pub mod job;
 pub mod pool;
 
 pub use backend::{Backend, CompileBackend, EngineOutput};
 pub use cache::{CacheStats, ResultCache};
+pub use codec::{decode_output, encode_output, CodecError};
+pub use disk::{DiskCache, DiskStats};
 pub use job::{CompileJob, JobResult};
 pub use pool::{Engine, EngineConfig};

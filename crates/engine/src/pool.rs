@@ -15,24 +15,28 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Engine sizing.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads. Clamped to ≥ 1.
     pub threads: usize,
-    /// Result-cache capacity in entries (0 disables caching).
+    /// Result-cache capacity in entries (0 disables the memory tier).
     pub cache_capacity: usize,
+    /// Results directory for the persistent disk cache tier (`None` keeps
+    /// the cache memory-only and the engine state process-local).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
-    /// One worker per available core, and room for a full evaluation suite
-    /// (6 molecules × 2 encoders × 2 devices × 7 backends ≈ 170 points)
-    /// several times over.
+    /// One worker per available core, a memory-only cache with room for a
+    /// full evaluation suite (6 molecules × 2 encoders × 2 devices × 7
+    /// backends ≈ 170 points) several times over.
     fn default() -> Self {
         EngineConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_capacity: 1024,
+            cache_dir: None,
         }
     }
 }
@@ -84,9 +88,18 @@ pub struct Engine {
 
 impl Engine {
     /// Spawns the worker pool.
+    ///
+    /// # Panics
+    /// Panics if `config.cache_dir` is set but the directory cannot be
+    /// created — a service pointed at an unusable results directory should
+    /// fail loudly at startup, not silently run uncached.
     pub fn new(config: EngineConfig) -> Self {
         let threads = config.threads.max(1);
-        let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        let cache = Arc::new(match &config.cache_dir {
+            Some(dir) => ResultCache::with_disk(config.cache_capacity, dir)
+                .unwrap_or_else(|e| panic!("cannot open cache directory {}: {e}", dir.display())),
+            None => ResultCache::new(config.cache_capacity),
+        });
         let (tx, rx) = channel::<WorkItem>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
@@ -286,6 +299,7 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             threads: 4,
             cache_capacity: 64,
+            cache_dir: None,
         });
         let results = engine.compile_batch(toy_jobs(12));
         assert_eq!(results.len(), 12);
@@ -300,6 +314,7 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             threads: 2,
             cache_capacity: 64,
+            cache_dir: None,
         });
         let mut jobs = toy_jobs(2);
         jobs.extend(toy_jobs(2)); // same content again
@@ -317,6 +332,7 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             threads: 2,
             cache_capacity: 0,
+            cache_dir: None,
         });
         let mut jobs = toy_jobs(1);
         jobs.extend(toy_jobs(1));
@@ -333,6 +349,7 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             threads: 2,
             cache_capacity: 8,
+            cache_dir: None,
         });
         // 5 logical qubits on a 3-qubit device trips the compiler's width
         // assert — the classic bad-request shape a service must survive.
@@ -370,6 +387,7 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             threads: 3,
             cache_capacity: 8,
+            cache_dir: None,
         });
         let _ = engine.compile_batch(toy_jobs(3));
         drop(engine); // must not hang or panic

@@ -1,0 +1,220 @@
+//! Disk-tier acceptance tests: the codec is an identity with pinned golden
+//! bytes, and a damaged results directory degrades to misses — never to
+//! wrong answers, errors or panics.
+
+use std::sync::Arc;
+use tetris_circuit::{Circuit, Gate, Metrics};
+use tetris_core::{CompileStats, TetrisConfig};
+use tetris_engine::{
+    decode_output, encode_output, Backend, CompileJob, DiskCache, Engine, EngineConfig,
+    EngineOutput,
+};
+use tetris_pauli::fingerprint::Fingerprint64;
+use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
+use tetris_topology::{CouplingGraph, Layout};
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tetris-dct-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fixed, hand-built output covering every gate opcode, a layout and
+/// non-trivial stats — the golden subject.
+fn golden_subject() -> EngineOutput {
+    let mut circuit = Circuit::new(5);
+    circuit.push(Gate::H(0));
+    circuit.push(Gate::S(1));
+    circuit.push(Gate::Sdg(2));
+    circuit.push(Gate::X(3));
+    circuit.push(Gate::Rz(4, 0.4375)); // exactly representable
+    circuit.push(Gate::Cnot(0, 1));
+    circuit.push(Gate::Swap(2, 3));
+    circuit.push(Gate::Measure(4));
+    circuit.push(Gate::Reset(4));
+    EngineOutput {
+        compiler: "Golden".to_string(),
+        circuit,
+        stats: CompileStats {
+            original_cnots: 11,
+            emitted_cnots: 13,
+            canceled_cnots: 5,
+            swaps_inserted: 3,
+            swaps_final: 1,
+            canceled_1q: 2,
+            metrics: Metrics {
+                depth: 9,
+                duration: 8640,
+                cnot_count: 4,
+                single_qubit_count: 5,
+                total_gates: 9,
+                swap_count: 1,
+            },
+            compile_seconds: 0.0625, // exactly representable
+        },
+        final_layout: Some(Layout::from_assignment(&[4, 2, 0, 1, 3], 5)),
+    }
+}
+
+/// FNV-1a digest of `encode_output(golden_subject())`, captured when the
+/// version-1 stream layout was frozen. If this moves, the codec changed
+/// byte layout without bumping `codec::VERSION` — old cache directories
+/// would silently stop hitting (or worse).
+const GOLDEN_STREAM_DIGEST: u64 = 0x3231_748f_c17b_ebde;
+
+/// First bytes of the version-1 frame: magic + version + the length-
+/// prefixed compiler name.
+const GOLDEN_PREFIX: &[u8] = b"TEOC\x01\x00\x06\x00\x00\x00Golden";
+
+#[test]
+fn golden_stream_bytes_are_pinned() {
+    let bytes = encode_output(&golden_subject());
+    assert_eq!(
+        &bytes[..GOLDEN_PREFIX.len()],
+        GOLDEN_PREFIX,
+        "frame header moved"
+    );
+    let mut h = Fingerprint64::new();
+    h.write_bytes(&bytes);
+    assert_eq!(
+        h.finish(),
+        GOLDEN_STREAM_DIGEST,
+        "codec byte stream changed without a version bump"
+    );
+}
+
+#[test]
+fn golden_round_trip_is_identity() {
+    let subject = golden_subject();
+    let decoded = decode_output(&encode_output(&subject)).expect("decodes");
+    assert_eq!(decoded, subject);
+}
+
+#[test]
+fn real_compile_outputs_round_trip_through_the_codec() {
+    // Compile a real workload with two different backends and push each
+    // output through encode→decode: identity, including layout and stats.
+    let g = Graph::random_regular(10, 3, 3);
+    let ham = Arc::new(maxcut_hamiltonian(&g, "rt"));
+    let graph = Arc::new(CouplingGraph::grid(4, 4));
+    for backend in [
+        Backend::Tetris(TetrisConfig::default()),
+        Backend::MaxCancel,
+        Backend::Qaoa2qan { seed: 7 },
+    ] {
+        let output = CompileJob::new("rt", backend, ham.clone(), graph.clone()).run();
+        let bytes = encode_output(&output);
+        let decoded = decode_output(&bytes).expect("decodes");
+        assert_eq!(decoded, output, "round trip must be identity");
+        assert_eq!(
+            decoded.stats_digest(),
+            output.stats_digest(),
+            "digest survives the disk"
+        );
+        assert_eq!(encode_output(&decoded), bytes, "re-encode reproduces bytes");
+    }
+}
+
+#[test]
+fn truncated_cache_files_are_misses_not_errors() {
+    let disk = DiskCache::open(unique_dir("trunc")).expect("open");
+    let output = golden_subject();
+    disk.store(42, &output);
+    let path = disk.path_of(42);
+    let full = std::fs::read(&path).expect("read back");
+
+    // Every proper prefix of the file — including zero bytes — must load
+    // as a miss.
+    for len in [0, 1, 3, 4, 6, 10, full.len() / 2, full.len() - 1] {
+        std::fs::write(&path, &full[..len]).expect("truncate");
+        assert!(disk.load(42).is_none(), "prefix of {len} bytes must miss");
+    }
+
+    // Restore and confirm the slot still works.
+    std::fs::write(&path, &full).expect("restore");
+    assert_eq!(disk.load(42).expect("hit"), output);
+    let _ = std::fs::remove_dir_all(disk.dir());
+}
+
+#[test]
+fn garbled_cache_files_are_misses_not_errors() {
+    let disk = DiskCache::open(unique_dir("garble")).expect("open");
+    disk.store(7, &golden_subject());
+    let path = disk.path_of(7);
+    let full = std::fs::read(&path).expect("read back");
+
+    // Flip a bit at every byte position: checksum (or magic/structure)
+    // must reject each one as a miss.
+    for i in 0..full.len() {
+        let mut bad = full.clone();
+        bad[i] ^= 0x10;
+        std::fs::write(&path, &bad).expect("garble");
+        assert!(disk.load(7).is_none(), "bit flip at byte {i} must miss");
+    }
+
+    // Foreign content under the right name: also a miss.
+    std::fs::write(&path, b"OPENQASM 2.0; // not a cache entry").expect("write");
+    assert!(disk.load(7).is_none());
+    let _ = std::fs::remove_dir_all(disk.dir());
+}
+
+#[test]
+fn corrupt_directory_degrades_engine_to_recompiles() {
+    // An engine pointed at a directory full of damaged files must produce
+    // correct results anyway (as misses) and heal the directory.
+    let dir = unique_dir("heal");
+    let g = Graph::random_regular(8, 3, 5);
+    let ham = Arc::new(maxcut_hamiltonian(&g, "heal"));
+    let graph = Arc::new(CouplingGraph::grid(3, 3));
+    let jobs = || {
+        vec![
+            CompileJob::new(
+                "heal",
+                Backend::Tetris(TetrisConfig::default()),
+                ham.clone(),
+                graph.clone(),
+            ),
+            CompileJob::new("heal", Backend::MaxCancel, ham.clone(), graph.clone()),
+        ]
+    };
+
+    let first = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 16,
+        cache_dir: Some(dir.clone()),
+    })
+    .compile_batch(jobs());
+
+    // Damage every stored file.
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "teoc") {
+            std::fs::write(&path, b"damaged beyond recognition").expect("damage");
+        }
+    }
+
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 16,
+        cache_dir: Some(dir.clone()),
+    });
+    let second = engine.compile_batch(jobs());
+    let stats = engine.cache_stats();
+    assert!(
+        second.iter().all(|r| !r.cached),
+        "damaged files must recompile, not serve garbage"
+    );
+    assert_eq!(stats.disk_misses, 2, "both loads saw the damage");
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.output.stats_digest(), b.output.stats_digest());
+    }
+
+    // The recompiles healed the directory: a third engine is all hits.
+    let healed = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 16,
+        cache_dir: Some(dir.clone()),
+    });
+    assert!(healed.compile_batch(jobs()).iter().all(|r| r.cached));
+    let _ = std::fs::remove_dir_all(&dir);
+}

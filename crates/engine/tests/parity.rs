@@ -40,6 +40,7 @@ fn parallel_batch_matches_serial_compilation_bit_for_bit() {
     let engine = Engine::new(EngineConfig {
         threads: 4,
         cache_capacity: 256,
+        cache_dir: None,
     });
     let parallel = engine.compile_batch(jobs);
 
@@ -61,6 +62,7 @@ fn repeated_batch_is_served_entirely_from_cache() {
     let engine = Engine::new(EngineConfig {
         threads: 4,
         cache_capacity: 256,
+        cache_dir: None,
     });
     let first = engine.compile_batch(quick_suite());
     let misses_after_first = engine.cache_stats().misses;
@@ -90,10 +92,12 @@ fn single_thread_and_many_thread_engines_agree() {
     let one = Engine::new(EngineConfig {
         threads: 1,
         cache_capacity: 64,
+        cache_dir: None,
     });
     let many = Engine::new(EngineConfig {
         threads: 8,
         cache_capacity: 64,
+        cache_dir: None,
     });
     let a = one.compile_batch(quick_suite());
     let b = many.compile_batch(quick_suite());

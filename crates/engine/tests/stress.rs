@@ -1,0 +1,226 @@
+//! Concurrency stress battery for the engine.
+//!
+//! Many client threads hammer one shared [`Engine`] with interleaved
+//! batches mixing cache hits, misses and intra-batch duplicates. The
+//! invariants under load:
+//!
+//! * every result is bit-identical to a serial reference compile of the
+//!   same job (purity — modulo wall-clock fields, which the digest skips),
+//! * cache accounting loses no updates: every job performs exactly one
+//!   lookup, so `hits + misses` equals the total job count across all
+//!   threads, and the entry count matches the distinct keys.
+
+use std::sync::Arc;
+use tetris_core::TetrisConfig;
+use tetris_engine::{Backend, CompileJob, Engine, EngineConfig};
+use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
+use tetris_topology::CouplingGraph;
+
+/// A family of small, fast, distinct workloads (seeded MaxCut instances):
+/// cheap enough to compile hundreds of times in a debug test run, rich
+/// enough that distinct seeds produce distinct cache keys.
+fn workload(seed: u64) -> Arc<tetris_pauli::Hamiltonian> {
+    let g = Graph::random_regular(10, 3, seed);
+    Arc::new(maxcut_hamiltonian(&g, &format!("stress-{seed}")))
+}
+
+fn job(seed: u64, graph: &Arc<CouplingGraph>) -> CompileJob {
+    let backend = if seed.is_multiple_of(3) {
+        Backend::Tetris(TetrisConfig::default())
+    } else if seed % 3 == 1 {
+        Backend::MaxCancel
+    } else {
+        Backend::Qaoa2qan { seed: 7 }
+    };
+    CompileJob::new(
+        format!("stress-{seed}"),
+        backend,
+        workload(seed),
+        graph.clone(),
+    )
+}
+
+#[test]
+fn concurrent_batches_match_serial_and_lose_no_cache_updates() {
+    const CLIENTS: usize = 8;
+    const BATCHES_PER_CLIENT: usize = 4;
+    const SEEDS: u64 = 12; // distinct workloads; far fewer than total jobs
+
+    let graph = Arc::new(CouplingGraph::grid(4, 4));
+
+    // Serial reference digests, one compile per distinct job content.
+    let reference: Vec<u64> = (0..SEEDS)
+        .map(|s| job(s, &graph).run().stats_digest())
+        .collect();
+
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 4,
+        cache_capacity: 256,
+        cache_dir: None,
+    }));
+
+    // Each client submits batches that interleave fresh keys, repeats of
+    // other clients' keys and intra-batch duplicates.
+    let mut total_jobs = 0usize;
+    let mut handles = Vec::new();
+    for client in 0..CLIENTS {
+        let engine = engine.clone();
+        let graph = graph.clone();
+        let reference = reference.clone();
+        // Every client covers all seeds, phase-shifted, plus a duplicate
+        // of its first seed inside the same batch.
+        let seeds: Vec<u64> = (0..SEEDS)
+            .map(|k| (k + client as u64) % SEEDS)
+            .chain([client as u64 % SEEDS])
+            .collect();
+        total_jobs += seeds.len() * BATCHES_PER_CLIENT;
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..BATCHES_PER_CLIENT {
+                let jobs: Vec<CompileJob> = seeds.iter().map(|&s| job(s, &graph)).collect();
+                let results = engine.compile_batch(jobs);
+                assert_eq!(results.len(), seeds.len());
+                for (i, (r, &seed)) in results.iter().zip(&seeds).enumerate() {
+                    assert!(r.error.is_none(), "{}: {:?}", r.name, r.error);
+                    assert_eq!(r.index, i, "submission order preserved");
+                    assert_eq!(
+                        r.output.stats_digest(),
+                        reference[seed as usize],
+                        "{} diverged from the serial reference under load",
+                        r.name
+                    );
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        total_jobs as u64,
+        "every job performs exactly one cache lookup — anything else is a lost update"
+    );
+    assert_eq!(
+        stats.entries, SEEDS as usize,
+        "one resident entry per distinct job content"
+    );
+    assert_eq!(stats.evictions, 0, "capacity was never exceeded");
+    // At most one compile per distinct content per concurrent race window;
+    // with 8 clients racing the very first batch the bound is generous,
+    // but misses can never exceed clients × distinct seeds.
+    assert!(
+        stats.misses >= SEEDS,
+        "each distinct content must miss at least once"
+    );
+    assert!(
+        stats.misses <= (CLIENTS as u64) * SEEDS,
+        "misses ({}) exceed the worst-case race bound",
+        stats.misses
+    );
+}
+
+#[test]
+fn duplicate_heavy_batches_coalesce_under_concurrency() {
+    let graph = Arc::new(CouplingGraph::grid(4, 4));
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 4,
+        cache_capacity: 64,
+        cache_dir: None,
+    }));
+
+    // One batch of 24 jobs with only 3 distinct contents, submitted by 4
+    // clients at once.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = engine.clone();
+            let graph = graph.clone();
+            std::thread::spawn(move || {
+                let jobs: Vec<CompileJob> = (0..24).map(|i| job(i % 3, &graph)).collect();
+                let results = engine.compile_batch(jobs);
+                // Within one batch every duplicate coalesces onto the first
+                // occurrence's output.
+                for i in 0..24 {
+                    assert_eq!(
+                        results[i].output.stats_digest(),
+                        results[i % 3].output.stats_digest()
+                    );
+                }
+                results.iter().filter(|r| r.cached).count()
+            })
+        })
+        .collect();
+    let cached_counts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Each batch compiles at most its 3 distinct contents; at least one
+    // batch-worth of duplicates (21 jobs) must be cache-served, and across
+    // all clients at most 4×3 compiles can have happened.
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.misses, 4 * 24);
+    assert!(
+        stats.misses <= 12,
+        "misses {} exceed 4 clients × 3 keys",
+        stats.misses
+    );
+    assert!(cached_counts.iter().all(|&c| c >= 21));
+    assert_eq!(stats.entries, 3);
+}
+
+#[test]
+fn disk_tier_survives_concurrent_writers_and_readers() {
+    let dir = std::env::temp_dir().join(format!("tetris-stress-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let graph = Arc::new(CouplingGraph::grid(4, 4));
+
+    // Phase 1: several *engines* (simulating separate processes) race to
+    // populate the same cache directory with the same contents.
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let dir = dir.clone();
+            let graph = graph.clone();
+            std::thread::spawn(move || {
+                let engine = Engine::new(EngineConfig {
+                    threads: 2,
+                    cache_capacity: 64,
+                    cache_dir: Some(dir),
+                });
+                let jobs: Vec<CompileJob> = (0..6).map(|s| job(s, &graph)).collect();
+                let results = engine.compile_batch(jobs);
+                results
+                    .iter()
+                    .map(|r| r.output.stats_digest())
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    let digest_sets: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for set in &digest_sets[1..] {
+        assert_eq!(
+            set, &digest_sets[0],
+            "racing engines must agree bit-for-bit"
+        );
+    }
+
+    // Phase 2: a cold engine reads the directory the racers left behind —
+    // every file must be complete (atomic temp+rename) and serve hits.
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 64,
+        cache_dir: Some(dir.clone()),
+    });
+    let jobs: Vec<CompileJob> = (0..6).map(|s| job(s, &graph)).collect();
+    let results = engine.compile_batch(jobs);
+    assert!(
+        results.iter().all(|r| r.cached),
+        "warm directory must serve the whole batch"
+    );
+    for (r, expected) in results.iter().zip(&digest_sets[0]) {
+        assert_eq!(r.output.stats_digest(), *expected);
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.disk_hits, 6);
+    assert_eq!(stats.disk_misses, 0);
+    assert!((stats.disk_hit_ratio() - 1.0).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}

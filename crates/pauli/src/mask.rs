@@ -149,6 +149,17 @@ impl QubitMask {
         }
     }
 
+    /// In-place intersection.
+    ///
+    /// # Panics
+    /// Panics if the register widths differ.
+    pub fn intersect_with(&mut self, other: &QubitMask) {
+        assert_eq!(self.n, other.n, "qubit mask width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
     /// In-place difference (`self \ other`).
     ///
     /// # Panics
@@ -228,6 +239,9 @@ mod tests {
         assert!(a.intersects(&b));
         a.union_with(&b);
         assert_eq!(a.to_vec(), vec![0, 63, 64, 65, 129]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![63, 64, 65]);
         a.subtract(&b);
         assert_eq!(a.to_vec(), vec![0, 129]);
         assert!(a.contains(129) && !a.contains(64));

@@ -1,0 +1,440 @@
+//! The std-only HTTP/1.1 front-end.
+//!
+//! A hand-rolled server over `TcpListener` — the same no-dependency
+//! discipline as the rest of the workspace. One thread accepts, one short-
+//! lived thread per connection parses a single request and writes a single
+//! `Connection: close` response; batches are compiled on a detached thread
+//! so submission returns immediately and clients poll.
+//!
+//! Routes:
+//!
+//! * `POST /batch` — body `{"jobs": [{"workload": …, "backend": …,
+//!   "device": …}, …]}`; every spec is validated against the
+//!   [`crate::registry`] before anything is enqueued (one bad spec fails
+//!   the whole batch with `400`, nothing half-submitted). Returns
+//!   `{"job_ids": [...]}`.
+//! * `GET /job/<id>` — `{"status": "pending"}` while compiling, else the
+//!   full result record (stats, cache provenance, a `stats_digest` for
+//!   bit-exactness checks, and the gate list length; `?qasm=1` embeds the
+//!   OpenQASM text).
+//! * `GET /stats` — engine sizing, per-tier cache counters and job counts.
+
+use crate::json::{escape, parse, Value};
+use crate::registry::Interner;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tetris_engine::{CompileJob, Engine, EngineConfig, JobResult};
+
+/// Request bodies above this size are rejected with `413` — compile
+/// requests are names, not payloads.
+const MAX_BODY: usize = 1 << 20;
+
+/// Cap on the request line + headers, bytes. Bounds memory against a
+/// client streaming an endless header.
+const MAX_HEAD: usize = 16 << 10;
+
+/// Per-connection socket timeout: an idle or trickling client gets its
+/// read/write aborted instead of parking a thread forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One job's lifecycle, as visible through `GET /job/<id>`.
+enum JobRecord {
+    /// Submitted, not yet finished.
+    Pending {
+        /// The job's workload label.
+        name: String,
+    },
+    /// Finished (successfully or with a per-job backend error).
+    Done(Box<JobResult>),
+}
+
+/// State shared by every connection: the engine and the job table.
+pub struct AppState {
+    engine: Engine,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    next_id: AtomicU64,
+}
+
+impl AppState {
+    fn new(engine: Engine) -> Self {
+        AppState {
+            engine,
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The engine (for tests and the CLI to inspect counters).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+/// The compilation service: a bound listener plus the shared state.
+pub struct CompileServer {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    addr: SocketAddr,
+}
+
+impl CompileServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
+    /// engine. The server does not accept connections until
+    /// [`serve_forever`](CompileServer::serve_forever) or
+    /// [`serve_background`](CompileServer::serve_background) is called.
+    pub fn bind(addr: &str, engine: EngineConfig) -> std::io::Result<CompileServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(CompileServer {
+            listener,
+            state: Arc::new(AppState::new(Engine::new(engine))),
+            addr,
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state.
+    pub fn state(&self) -> Arc<AppState> {
+        self.state.clone()
+    }
+
+    /// Accepts connections on the calling thread, forever (the CLI path).
+    pub fn serve_forever(self) -> ! {
+        let state = self.state.clone();
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let state = state.clone();
+                    std::thread::spawn(move || handle_connection(stream, &state));
+                }
+                Err(e) => eprintln!("[serve] accept error: {e}"),
+            }
+        }
+        unreachable!("TcpListener::incoming never returns None")
+    }
+
+    /// Accepts connections on a detached background thread (the test
+    /// path). The listener thread lives until the process exits.
+    pub fn serve_background(self) -> Arc<AppState> {
+        let state = self.state.clone();
+        let listener = self.listener;
+        let accept_state = state.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let state = accept_state.clone();
+                std::thread::spawn(move || handle_connection(stream, &state));
+            }
+        });
+        state
+    }
+}
+
+// ------------------------------------------------------------- wire level
+
+/// A parsed request: method, path, query string and body.
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: Vec<u8>,
+}
+
+/// Reads one HTTP/1.1 request. Total bytes consumed are bounded by
+/// `MAX_HEAD + MAX_BODY` and every read is under the socket timeout, so a
+/// hostile client can neither park the thread nor grow memory unboundedly.
+fn read_request(stream: &mut TcpStream) -> Result<Request, &'static str> {
+    let mut reader = BufReader::new((&mut *stream).take((MAX_HEAD + MAX_BODY) as u64));
+    let mut head_budget = MAX_HEAD;
+    let mut read_head_line =
+        |reader: &mut dyn BufRead, line: &mut String| -> Result<(), &'static str> {
+            let n = reader.read_line(line).map_err(|_| "unreadable header")?;
+            if n == 0 {
+                return Err("connection closed mid-request");
+            }
+            if !line.ends_with('\n') || n > head_budget {
+                return Err("header section too large");
+            }
+            head_budget -= n;
+            Ok(())
+        };
+
+    let mut line = String::new();
+    read_head_line(&mut reader, &mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing path")?.to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        read_head_line(&mut reader, &mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().map_err(|_| "bad content-length")?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("body too large");
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| "short body")?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, body: &str) {
+    let response = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        status_text(code),
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{ \"error\": \"{}\" }}\n", escape(message))
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let code = if e == "body too large" { 413 } else { 400 };
+            respond(&mut stream, code, &error_body(e));
+            return;
+        }
+    };
+    let (code, body) = route(&request, state);
+    respond(&mut stream, code, &body);
+}
+
+fn route(request: &Request, state: &Arc<AppState>) -> (u16, String) {
+    // Resolve the path first, then the method: an unknown path is 404 for
+    // every method, a known path with the wrong method is 405.
+    let method = request.method.as_str();
+    match request.path.as_str() {
+        "/batch" => match method {
+            "POST" => post_batch(state, &request.body),
+            _ => (405, error_body("use POST /batch")),
+        },
+        "/stats" => match method {
+            "GET" => (200, stats_body(state)),
+            _ => (405, error_body("use GET /stats")),
+        },
+        path => match path.strip_prefix("/job/") {
+            Some(id) => match method {
+                "GET" => get_job(state, id, &request.query),
+                _ => (405, error_body("use GET /job/<id>")),
+            },
+            None => (404, error_body("no such route")),
+        },
+    }
+}
+
+// --------------------------------------------------------------- handlers
+
+fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8")),
+    };
+    let doc = match parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("bad JSON: {e}"))),
+    };
+    let Some(specs) = doc.get("jobs").and_then(Value::as_arr) else {
+        return (400, error_body("missing `jobs` array"));
+    };
+    if specs.is_empty() {
+        return (400, error_body("empty batch"));
+    }
+
+    // Validate and build everything before touching the job table: a batch
+    // either enqueues whole or not at all.
+    let mut interner = Interner::new();
+    let mut jobs = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let field = |key: &str| spec.get(key).and_then(Value::as_str);
+        let Some(workload) = field("workload") else {
+            return (400, error_body(&format!("job {i}: missing `workload`")));
+        };
+        let Some(backend_name) = field("backend") else {
+            return (400, error_body(&format!("job {i}: missing `backend`")));
+        };
+        let device_name = field("device").unwrap_or("heavy-hex");
+
+        let Some(backend) = crate::registry::backend(backend_name) else {
+            return (
+                400,
+                error_body(&format!("job {i}: unknown backend `{backend_name}`")),
+            );
+        };
+        let Some(graph) = interner.device(device_name) else {
+            return (
+                400,
+                error_body(&format!("job {i}: unknown device `{device_name}`")),
+            );
+        };
+        let Some(ham) = interner.workload(workload) else {
+            return (
+                400,
+                error_body(&format!("job {i}: unknown workload `{workload}`")),
+            );
+        };
+        jobs.push(CompileJob::new(workload, backend, ham, graph));
+    }
+
+    // Reserve ids, record pending, compile on a detached thread.
+    let first_id = state
+        .next_id
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    let ids: Vec<u64> = (0..jobs.len() as u64).map(|k| first_id + k).collect();
+    {
+        let mut table = state.jobs.lock().expect("job table lock");
+        for (id, job) in ids.iter().zip(&jobs) {
+            table.insert(
+                *id,
+                JobRecord::Pending {
+                    name: job.name.clone(),
+                },
+            );
+        }
+    }
+
+    let worker_state = state.clone();
+    let worker_ids = ids.clone();
+    std::thread::spawn(move || {
+        let results = worker_state.engine.compile_batch(jobs);
+        let mut table = worker_state.jobs.lock().expect("job table lock");
+        for (id, result) in worker_ids.into_iter().zip(results) {
+            table.insert(id, JobRecord::Done(Box::new(result)));
+        }
+    });
+
+    let body = format!("{{ \"job_ids\": {ids:?} }}\n");
+    (200, body)
+}
+
+fn get_job(state: &AppState, id: &str, query: &str) -> (u16, String) {
+    let Ok(id) = id.parse::<u64>() else {
+        return (400, error_body("job id must be an integer"));
+    };
+    // Exact key=value match — `?noqasm=1` must not trigger embedding.
+    let with_qasm = query.split('&').any(|kv| kv == "qasm=1");
+    // Copy the record out (a JobResult clone is an Arc bump plus a few
+    // strings) so QASM serialization never runs under the table lock.
+    let record = {
+        let table = state.jobs.lock().expect("job table lock");
+        match table.get(&id) {
+            None => return (404, error_body(&format!("no job {id}"))),
+            Some(JobRecord::Pending { name }) => {
+                return (
+                    200,
+                    format!(
+                        "{{ \"id\": {id}, \"name\": \"{}\", \"status\": \"pending\" }}\n",
+                        escape(name)
+                    ),
+                )
+            }
+            Some(JobRecord::Done(r)) => (**r).clone(),
+        }
+    };
+    (200, job_body(id, &record, with_qasm))
+}
+
+fn job_body(id: u64, r: &JobResult, with_qasm: bool) -> String {
+    let s = &r.output.stats;
+    let error = match &r.error {
+        Some(msg) => format!(" \"error\": \"{}\",", escape(msg)),
+        None => String::new(),
+    };
+    let qasm = if with_qasm && r.error.is_none() {
+        format!(
+            " \"qasm\": \"{}\",",
+            escape(&tetris_circuit::qasm::to_qasm(&r.output.circuit))
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "{{ \"id\": {id}, \"status\": \"done\", \"name\": \"{}\", \"compiler\": \"{}\", \
+         \"cache_key\": \"{:016x}\", \"cached\": {},{error}{qasm} \"engine_seconds\": {:.6}, \
+         \"stats_digest\": \"{:016x}\", \"gates\": {}, \"cnots\": {}, \"swaps\": {}, \
+         \"depth\": {}, \"duration\": {}, \"cancel_ratio\": {:.4} }}\n",
+        escape(&r.name),
+        escape(&r.compiler),
+        r.cache_key,
+        r.cached,
+        r.engine_seconds,
+        r.output.stats_digest(),
+        r.output.circuit.len(),
+        s.total_cnots(),
+        s.swaps_final,
+        s.metrics.depth,
+        s.metrics.duration,
+        s.cancel_ratio(),
+    )
+}
+
+fn stats_body(state: &AppState) -> String {
+    let c = state.engine.cache_stats();
+    let table = state.jobs.lock().expect("job table lock");
+    let pending = table
+        .values()
+        .filter(|r| matches!(r, JobRecord::Pending { .. }))
+        .count();
+    format!(
+        "{{ \"threads\": {}, \"jobs_total\": {}, \"jobs_pending\": {pending}, \
+         \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
+         \"disk_hits\": {}, \"disk_misses\": {}, \"disk_stores\": {}, \
+         \"disk_store_errors\": {}, \"hit_ratio\": {:.4}, \"disk_hit_ratio\": {:.4} }} }}\n",
+        state.engine.threads(),
+        table.len(),
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.entries,
+        c.disk_hits,
+        c.disk_misses,
+        c.disk_stores,
+        c.disk_store_errors,
+        c.hit_ratio(),
+        c.disk_hit_ratio(),
+    )
+}

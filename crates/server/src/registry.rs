@@ -1,0 +1,241 @@
+//! Named workloads, devices and backends — the vocabulary of the HTTP API.
+//!
+//! Remote clients cannot ship arbitrary in-memory `Hamiltonian`s, so the
+//! batch endpoint speaks in names: every workload/device/backend of the
+//! evaluation is constructible from a short string, and construction is
+//! deterministic — the same name always builds the same content, so the
+//! engine's content-addressed cache works across clients and restarts.
+
+use std::sync::Arc;
+use tetris_baselines::generic;
+use tetris_core::TetrisConfig;
+use tetris_engine::Backend;
+use tetris_pauli::encoder::Encoding;
+use tetris_pauli::molecules::Molecule;
+use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
+use tetris_pauli::uccsd::synthetic_ucc;
+use tetris_pauli::Hamiltonian;
+use tetris_topology::CouplingGraph;
+
+/// Builds a workload from its wire name:
+///
+/// * `<Molecule>-JW` / `<Molecule>-BK` — UCCSD molecules (`LiH-JW`,
+///   `CO2-BK`, …),
+/// * `UCC-<n>` — the synthetic UCC family on `n` qubits,
+/// * `REG3-<n>-s<seed>` — MaxCut on a random 3-regular graph,
+/// * `RAND-<n>-<m>-s<seed>` — MaxCut on a random `G(n, m)` graph.
+pub fn workload(name: &str) -> Option<Hamiltonian> {
+    if let Some((mol, enc)) = name.rsplit_once('-') {
+        let encoding = match enc {
+            "JW" => Some(Encoding::JordanWigner),
+            "BK" => Some(Encoding::BravyiKitaev),
+            _ => None,
+        };
+        if let Some(encoding) = encoding {
+            let molecule = match mol {
+                "LiH" => Some(Molecule::LiH),
+                "BeH2" => Some(Molecule::BeH2),
+                "CH4" => Some(Molecule::CH4),
+                "MgH2" => Some(Molecule::MgH2),
+                "LiCl" => Some(Molecule::LiCl),
+                "CO2" => Some(Molecule::CO2),
+                _ => None,
+            };
+            if let Some(m) = molecule {
+                return Some(m.uccsd_hamiltonian(encoding));
+            }
+        }
+    }
+    if let Some(rest) = name.strip_prefix("UCC-") {
+        let n: usize = rest.parse().ok().filter(|&n| (4..=64).contains(&n))?;
+        return Some(synthetic_ucc(n, Encoding::JordanWigner, 0x5cc ^ n as u64));
+    }
+    if let Some(rest) = name.strip_prefix("REG3-") {
+        let (n, seed) = rest.split_once("-s")?;
+        // 3-regular graphs need an even vertex count (n·d must be even).
+        let n: usize = n
+            .parse()
+            .ok()
+            .filter(|&n| (4..=64).contains(&n) && n % 2 == 0)?;
+        let seed: u64 = seed.parse().ok()?;
+        let g = Graph::random_regular(n, 3, seed);
+        return Some(maxcut_hamiltonian(&g, name));
+    }
+    if let Some(rest) = name.strip_prefix("RAND-") {
+        let (nm, seed) = rest.split_once("-s")?;
+        let (n, m) = nm.split_once('-')?;
+        let n: usize = n.parse().ok().filter(|&n| (4..=64).contains(&n))?;
+        let m: usize = m.parse().ok().filter(|&m| m <= n * (n - 1) / 2)?;
+        let seed: u64 = seed.parse().ok()?;
+        let g = Graph::random_gnm(n, m, seed);
+        return Some(maxcut_hamiltonian(&g, name));
+    }
+    None
+}
+
+/// Builds a device from its wire name: `heavy-hex` (IBM 65q), `sycamore`
+/// (Google 64q), `line-<n>`, `ring-<n>` or `grid-<r>x<c>`.
+pub fn device(name: &str) -> Option<CouplingGraph> {
+    match name {
+        "heavy-hex" => return Some(CouplingGraph::heavy_hex_65()),
+        "sycamore" => return Some(CouplingGraph::sycamore_64()),
+        _ => {}
+    }
+    let in_range = |n: usize| (2..=256).contains(&n);
+    if let Some(rest) = name.strip_prefix("line-") {
+        return rest
+            .parse()
+            .ok()
+            .filter(|&n| in_range(n))
+            .map(CouplingGraph::line);
+    }
+    if let Some(rest) = name.strip_prefix("ring-") {
+        return rest
+            .parse()
+            .ok()
+            .filter(|&n| in_range(n))
+            .map(CouplingGraph::ring);
+    }
+    if let Some(rest) = name.strip_prefix("grid-") {
+        let (r, c) = rest.split_once('x')?;
+        let r: usize = r.parse().ok()?;
+        let c: usize = c.parse().ok()?;
+        // checked_mul: a wrapped product must not sneak past the bound.
+        if r.checked_mul(c).is_some_and(in_range) {
+            return Some(CouplingGraph::grid(r, c));
+        }
+    }
+    None
+}
+
+/// Builds a backend from its wire name: `tetris`, `tetris-nolookahead`,
+/// `paulihedral`, `maxcancel`, `pcoast`, `tket`, `tket-postroute` or
+/// `2qan-s<seed>`.
+pub fn backend(name: &str) -> Option<Backend> {
+    match name {
+        "tetris" => return Some(Backend::Tetris(TetrisConfig::default())),
+        "tetris-nolookahead" => return Some(Backend::Tetris(TetrisConfig::without_lookahead())),
+        "paulihedral" => {
+            return Some(Backend::Paulihedral {
+                post_optimize: true,
+            })
+        }
+        "maxcancel" => return Some(Backend::MaxCancel),
+        "pcoast" => return Some(Backend::PcoastLike),
+        "tket" => return Some(Backend::Generic(generic::OptLevel::Native)),
+        "tket-postroute" => return Some(Backend::Generic(generic::OptLevel::PostRouteOnly)),
+        _ => {}
+    }
+    if let Some(seed) = name.strip_prefix("2qan-s") {
+        return seed.parse().ok().map(|seed| Backend::Qaoa2qan { seed });
+    }
+    None
+}
+
+/// A per-batch construction cache: jobs in one batch frequently share the
+/// workload or device, and molecule construction is far from free.
+#[derive(Default)]
+pub struct Interner {
+    workloads: Vec<(String, Arc<Hamiltonian>)>,
+    devices: Vec<(String, Arc<CouplingGraph>)>,
+}
+
+impl Interner {
+    /// A fresh, empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// The workload named `name`, built at most once per interner.
+    pub fn workload(&mut self, name: &str) -> Option<Arc<Hamiltonian>> {
+        if let Some((_, h)) = self.workloads.iter().find(|(k, _)| k == name) {
+            return Some(h.clone());
+        }
+        let h = Arc::new(workload(name)?);
+        self.workloads.push((name.to_string(), h.clone()));
+        Some(h)
+    }
+
+    /// The device named `name`, built at most once per interner.
+    pub fn device(&mut self, name: &str) -> Option<Arc<CouplingGraph>> {
+        if let Some((_, g)) = self.devices.iter().find(|(k, _)| k == name) {
+            return Some(g.clone());
+        }
+        let g = Arc::new(device(name)?);
+        self.devices.push((name.to_string(), g.clone()));
+        Some(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetris_engine::CompileBackend;
+
+    #[test]
+    fn molecule_names_resolve() {
+        let h = workload("LiH-JW").expect("LiH-JW");
+        assert_eq!(h.name, "LiH-JW");
+        assert!(workload("LiH-XX").is_none());
+        assert!(workload("NoSuchMolecule-JW").is_none());
+    }
+
+    #[test]
+    fn qaoa_names_are_deterministic() {
+        let a = workload("REG3-12-s7").expect("reg3");
+        let b = workload("REG3-12-s7").expect("reg3");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same name, same content");
+        let c = workload("REG3-12-s8").expect("reg3");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed must matter");
+        assert!(workload("REG3-12").is_none(), "seed is required");
+        let r = workload("RAND-10-20-s3").expect("rand");
+        assert_eq!(r.n_qubits, 10);
+    }
+
+    #[test]
+    fn synthetic_ucc_matches_bench_suite_construction() {
+        let h = workload("UCC-10").expect("ucc");
+        assert_eq!(
+            h.fingerprint(),
+            synthetic_ucc(10, Encoding::JordanWigner, 0x5cc ^ 10).fingerprint(),
+            "server and bench-suite must agree on UCC-n content"
+        );
+    }
+
+    #[test]
+    fn devices_resolve() {
+        assert_eq!(device("heavy-hex").unwrap().n_qubits(), 65);
+        assert_eq!(device("sycamore").unwrap().n_qubits(), 64);
+        assert_eq!(device("line-7").unwrap().n_qubits(), 7);
+        assert_eq!(device("ring-9").unwrap().n_qubits(), 9);
+        assert_eq!(device("grid-3x4").unwrap().n_qubits(), 12);
+        assert!(device("torus-3").is_none());
+        assert!(device("line-0").is_none());
+        assert!(device("grid-1000x1000").is_none(), "size bound enforced");
+    }
+
+    #[test]
+    fn backends_resolve_with_parameters() {
+        assert_eq!(
+            backend("tetris").unwrap().fingerprint(),
+            Backend::Tetris(TetrisConfig::default()).fingerprint()
+        );
+        assert_ne!(
+            backend("tetris").unwrap().fingerprint(),
+            backend("tetris-nolookahead").unwrap().fingerprint()
+        );
+        assert_eq!(backend("2qan-s7"), Some(Backend::Qaoa2qan { seed: 7 }));
+        assert!(backend("qiskit").is_none());
+    }
+
+    #[test]
+    fn interner_shares_construction() {
+        let mut i = Interner::new();
+        let a = i.workload("REG3-8-s1").expect("w");
+        let b = i.workload("REG3-8-s1").expect("w");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the first build");
+        let g1 = i.device("line-5").expect("d");
+        let g2 = i.device("line-5").expect("d");
+        assert!(Arc::ptr_eq(&g1, &g2));
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end smoke test: a real TCP client against a live server.
+//!
+//! Submits a batch over HTTP, polls it to completion and checks the served
+//! result is bit-for-bit the result a direct `compile_batch` call produces
+//! (via the deterministic `stats_digest`). This is the in-tree twin of the
+//! CI smoke job, which does the same with `tetris serve` + `curl`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tetris_engine::{CompileJob, Engine, EngineConfig};
+use tetris_server::{registry, CompileServer};
+
+/// Sends one HTTP/1.1 request and returns `(status, body)`.
+fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// Extracts `"key": "value"` or `"key": value` from a flat JSON body
+/// (enough for assertions; the server emits no nested keys that collide).
+fn field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let rest = &body[body.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn poll_done(addr: &str, id: u64, timeout: Duration) -> String {
+    let t0 = Instant::now();
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/job/{id}"), None);
+        assert_eq!(status, 200, "poll must succeed: {body}");
+        match field(&body, "status") {
+            Some("done") => return body,
+            Some("pending") => {
+                assert!(t0.elapsed() < timeout, "job {id} did not finish in time");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("unexpected status {other:?} in {body}"),
+        }
+    }
+}
+
+fn start_server() -> String {
+    let server = CompileServer::bind(
+        "127.0.0.1:0",
+        EngineConfig {
+            threads: 2,
+            cache_capacity: 64,
+            cache_dir: None,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    server.serve_background();
+    addr
+}
+
+#[test]
+fn batch_round_trips_and_matches_direct_compilation() {
+    let addr = start_server();
+
+    // Small, fast workloads (debug builds run this test too).
+    let body = r#"{ "jobs": [
+        {"workload": "REG3-12-s7", "backend": "tetris", "device": "grid-4x4"},
+        {"workload": "REG3-12-s7", "backend": "2qan-s7", "device": "grid-4x4"},
+        {"workload": "REG3-12-s7", "backend": "tetris", "device": "grid-4x4"}
+    ] }"#;
+    let (status, response) = request(&addr, "POST", "/batch", Some(body));
+    assert_eq!(status, 200, "submit: {response}");
+    assert!(response.contains("\"job_ids\": [1, 2, 3]"), "{response}");
+
+    let first = poll_done(&addr, 1, Duration::from_secs(120));
+    let second = poll_done(&addr, 2, Duration::from_secs(120));
+    let third = poll_done(&addr, 3, Duration::from_secs(120));
+
+    // The served results must be bit-identical (modulo wall clock) to a
+    // direct engine run of the same specs.
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 16,
+        cache_dir: None,
+    });
+    let ham = Arc::new(registry::workload("REG3-12-s7").expect("workload"));
+    let graph = Arc::new(registry::device("grid-4x4").expect("device"));
+    let direct = engine.compile_batch(vec![
+        CompileJob::new(
+            "REG3-12-s7",
+            registry::backend("tetris").expect("backend"),
+            ham.clone(),
+            graph.clone(),
+        ),
+        CompileJob::new(
+            "REG3-12-s7",
+            registry::backend("2qan-s7").expect("backend"),
+            ham,
+            graph,
+        ),
+    ]);
+    let expect_digest = |r: &tetris_engine::JobResult| format!("{:016x}", r.output.stats_digest());
+
+    assert_eq!(
+        field(&first, "stats_digest").expect("digest"),
+        expect_digest(&direct[0]),
+        "served tetris result differs from direct compile_batch"
+    );
+    assert_eq!(
+        field(&second, "stats_digest").expect("digest"),
+        expect_digest(&direct[1]),
+        "served 2qan result differs from direct compile_batch"
+    );
+    assert_eq!(field(&first, "compiler"), Some("Tetris+lookahead"));
+    assert!(field(&first, "gates").unwrap().parse::<usize>().unwrap() > 0);
+
+    // Job 3 duplicates job 1 inside the batch: coalesced into a cache hit
+    // with the same digest.
+    assert_eq!(field(&third, "cached"), Some("true"));
+    assert_eq!(field(&third, "stats_digest"), field(&first, "stats_digest"));
+
+    // A repeat submission is served from the cache.
+    let (status, response) = request(
+        &addr,
+        "POST",
+        "/batch",
+        Some(
+            r#"{ "jobs": [{"workload": "REG3-12-s7", "backend": "tetris", "device": "grid-4x4"}] }"#,
+        ),
+    );
+    assert_eq!(status, 200, "{response}");
+    let repeat = poll_done(&addr, 4, Duration::from_secs(120));
+    assert_eq!(field(&repeat, "cached"), Some("true"));
+    assert_eq!(
+        field(&repeat, "stats_digest"),
+        field(&first, "stats_digest")
+    );
+
+    // /stats reflects the traffic.
+    let (status, stats) = request(&addr, "GET", "/stats", None);
+    assert_eq!(status, 200);
+    assert_eq!(field(&stats, "jobs_total"), Some("4"));
+    assert_eq!(field(&stats, "jobs_pending"), Some("0"));
+    assert!(field(&stats, "hits").unwrap().parse::<u64>().unwrap() >= 2);
+
+    // The qasm flag embeds a circuit.
+    let (_, with_qasm) = request(&addr, "GET", "/job/1?qasm=1", None);
+    assert!(with_qasm.contains("OPENQASM 2.0"), "qasm embedded");
+}
+
+#[test]
+fn bad_requests_are_rejected_not_fatal() {
+    let addr = start_server();
+
+    for (body, why) in [
+        ("{", "malformed JSON"),
+        ("{}", "missing jobs"),
+        (r#"{"jobs": []}"#, "empty batch"),
+        (
+            r#"{"jobs": [{"workload": "NoSuch-JW", "backend": "tetris"}]}"#,
+            "unknown workload",
+        ),
+        (
+            r#"{"jobs": [{"workload": "REG3-12-s7", "backend": "qiskit"}]}"#,
+            "unknown backend",
+        ),
+        (
+            r#"{"jobs": [{"workload": "REG3-12-s7", "backend": "tetris", "device": "torus"}]}"#,
+            "unknown device",
+        ),
+        (
+            r#"{"jobs": [{"backend": "tetris"}]}"#,
+            "missing workload field",
+        ),
+    ] {
+        let (status, response) = request(&addr, "POST", "/batch", Some(body));
+        assert_eq!(status, 400, "{why} must 400: {response}");
+        assert!(response.contains("error"), "{why}: {response}");
+    }
+
+    // Nothing was enqueued by any failed batch.
+    let (_, stats) = request(&addr, "GET", "/stats", None);
+    assert_eq!(field(&stats, "jobs_total"), Some("0"));
+
+    // Unknown routes and ids.
+    assert_eq!(request(&addr, "GET", "/nope", None).0, 404);
+    assert_eq!(request(&addr, "GET", "/job/99", None).0, 404);
+    assert_eq!(request(&addr, "GET", "/job/xyz", None).0, 400);
+    assert_eq!(request(&addr, "DELETE", "/batch", None).0, 405);
+
+    // The server survives all of the above and still serves work.
+    let (status, _) = request(
+        &addr,
+        "POST",
+        "/batch",
+        Some(
+            r#"{ "jobs": [{"workload": "REG3-8-s1", "backend": "maxcancel", "device": "ring-9"}] }"#,
+        ),
+    );
+    assert_eq!(status, 200);
+    let done = poll_done(&addr, 1, Duration::from_secs(120));
+    assert_eq!(field(&done, "compiler"), Some("MaxCancel"));
+}

@@ -98,6 +98,27 @@ impl Layout {
         }
     }
 
+    /// Builds a possibly-partial layout from `logical q → assignment[q]`,
+    /// where `None` leaves the logical qubit unplaced (the engine's disk
+    /// codec round-trips layouts through this).
+    ///
+    /// # Panics
+    /// Panics on duplicate or out-of-range physical indices.
+    pub fn from_partial_assignment(assignment: &[Option<usize>], n_physical: usize) -> Self {
+        let mut phys2log = vec![None; n_physical];
+        for (q, &p) in assignment.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(p < n_physical, "physical index {p} out of range");
+                assert!(phys2log[p].is_none(), "physical {p} assigned twice");
+                phys2log[p] = Some(q);
+            }
+        }
+        Layout {
+            log2phys: assignment.to_vec(),
+            phys2log,
+        }
+    }
+
     /// Number of logical qubits.
     pub fn n_logical(&self) -> usize {
         self.log2phys.len()
@@ -238,6 +259,17 @@ mod tests {
             s
         };
         assert!(spread(&l) < spread(&trivial));
+    }
+
+    #[test]
+    fn from_partial_assignment_allows_unplaced() {
+        let l = Layout::from_partial_assignment(&[Some(2), None, Some(0)], 4);
+        assert_eq!(l.phys_of(0), Some(2));
+        assert_eq!(l.phys_of(1), None);
+        assert_eq!(l.phys_of(2), Some(0));
+        assert_eq!(l.logical_at(2), Some(0));
+        assert!(l.is_free(1) && l.is_free(3));
+        assert!(l.is_consistent());
     }
 
     #[test]

@@ -25,7 +25,8 @@ fn usage() -> ExitCode {
   tetris qaoa    [--nodes N] [--degree D | --edges M] [--seed S] [--qasm FILE]
   tetris compare [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
   tetris bench-suite [--quick] [--threads N] [--passes P] [--backend heavy-hex|sycamore]
-                     [--out FILE]
+                     [--cache-dir DIR] [--out FILE]
+  tetris serve   [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--cache-capacity N]
 
 molecules: LiH BeH2 CH4 MgH2 LiCl CO2"
     );
@@ -214,6 +215,7 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     let engine = Engine::new(EngineConfig {
         threads,
         cache_capacity: 1024,
+        cache_dir: args.value("--cache-dir").map(std::path::PathBuf::from),
     });
     let mut report_passes = Vec::with_capacity(passes);
     for pass in 1..=passes {
@@ -259,6 +261,43 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     Some(ExitCode::SUCCESS)
 }
 
+/// Runs the HTTP compilation service until killed. With `--cache-dir` the
+/// engine's result cache gains a persistent disk tier, so a restarted
+/// server answers previously compiled batches from disk.
+fn cmd_serve(args: &Args) -> Option<ExitCode> {
+    use tetris::engine::EngineConfig;
+    use tetris::server::CompileServer;
+
+    let addr = args.value("--addr").unwrap_or("127.0.0.1:7421");
+    let threads: usize = args
+        .value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let cache_capacity: usize = args
+        .value("--cache-capacity")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
+    let config = EngineConfig {
+        threads,
+        cache_capacity,
+        cache_dir: args.value("--cache-dir").map(std::path::PathBuf::from),
+    };
+    match CompileServer::bind(addr, config) {
+        Ok(server) => {
+            println!("listening on http://{}", server.local_addr());
+            server.serve_forever()
+        }
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            Some(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
@@ -270,6 +309,7 @@ fn main() -> ExitCode {
         "qaoa" => cmd_qaoa(&args),
         "compare" => cmd_compare(&args),
         "bench-suite" => cmd_bench_suite(&args),
+        "serve" => cmd_serve(&args),
         _ => None,
     };
     result.unwrap_or_else(usage)

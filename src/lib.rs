@@ -38,8 +38,11 @@
 //! * [`baselines`] — Paulihedral-like, max-cancel, tket-like, PCOAST-like and
 //!   2QAN-lite comparators used throughout the evaluation.
 //! * [`engine`] — the parallel batch-compilation engine: a fixed worker
-//!   pool plus a content-addressed result cache, with every compiler of
-//!   the workspace behind one [`engine::Backend`].
+//!   pool plus a tiered content-addressed result cache (in-memory LRU over
+//!   an optional persistent disk tier), with every compiler of the
+//!   workspace behind one [`engine::Backend`].
+//! * [`server`] — the std-only HTTP/1.1 front-end (`tetris serve`): named
+//!   batch submission, result polling and cache/pool counters as JSON.
 //! * [`bench`] — the experiment harness: workload suites, table emitters
 //!   and the per-figure binaries.
 
@@ -50,5 +53,6 @@ pub use tetris_core as core;
 pub use tetris_engine as engine;
 pub use tetris_pauli as pauli;
 pub use tetris_router as router;
+pub use tetris_server as server;
 pub use tetris_sim as sim;
 pub use tetris_topology as topology;

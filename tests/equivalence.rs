@@ -194,6 +194,84 @@ fn trotterized_workload_compiles_and_matches_reference() {
 }
 
 #[test]
+fn disk_cache_hits_are_semantically_identical_to_fresh_compiles() {
+    // A result that traveled compile → codec → disk → codec → cache hit
+    // must be *semantically* the same circuit, not merely plausible: the
+    // served statevector must match the fresh compile's on a non-trivial
+    // input, for Tetris and at least two baselines.
+    use std::sync::Arc;
+    use tetris::engine::{Backend, CompileJob, Engine, EngineConfig};
+
+    let dir = std::env::temp_dir().join(format!("tetris-equiv-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let h = Arc::new(small_uccsd(Encoding::JordanWigner));
+    let device = Arc::new(CouplingGraph::grid(3, 3));
+    let jobs = || -> Vec<CompileJob> {
+        [
+            Backend::Tetris(TetrisConfig::default()),
+            Backend::PcoastLike,
+            Backend::Paulihedral {
+                post_optimize: true,
+            },
+            Backend::MaxCancel,
+        ]
+        .into_iter()
+        .map(|b| CompileJob::new("small-jw", b, h.clone(), device.clone()))
+        .collect()
+    };
+
+    // Process 1 compiles fresh and persists to disk.
+    let fresh = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 16,
+        cache_dir: Some(dir.clone()),
+    })
+    .compile_batch(jobs());
+    assert!(fresh.iter().all(|r| !r.cached && r.error.is_none()));
+
+    // Process 2 (fresh engine, same directory) is served from disk.
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 16,
+        cache_dir: Some(dir.clone()),
+    });
+    let served = engine.compile_batch(jobs());
+    assert!(
+        served.iter().all(|r| r.cached),
+        "second process must be disk-served"
+    );
+    assert_eq!(engine.cache_stats().disk_hits, 4);
+
+    let input = prepared_input(9);
+    for (f, s) in fresh.iter().zip(&served) {
+        assert_eq!(
+            f.output.stats_digest(),
+            s.output.stats_digest(),
+            "{}: digest changed across the disk",
+            f.compiler
+        );
+        assert!(
+            s.output.circuit.is_hardware_compliant(&device),
+            "{}: served circuit must stay routable",
+            s.compiler
+        );
+        // The statevector oracle: fresh and served circuits act
+        // identically on a non-trivial 9-qubit input state.
+        let mut a = input.clone();
+        a.apply_circuit(&f.output.circuit);
+        let mut b = input.clone();
+        b.apply_circuit(&s.output.circuit);
+        assert!(
+            a.equals_up_to_global_phase(&b, 1e-12),
+            "{}: cache-served circuit diverges from the fresh compile",
+            s.compiler
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bridging_keeps_ancillas_clean() {
     // Compile a sparse workload on a device with many free qubits; then
     // explicitly Reset every free physical qubit at the end — the

@@ -260,6 +260,85 @@ fn qasm_round_trips_gate_counts() {
 }
 
 #[test]
+fn qubit_mask_set_algebra_matches_reference_model() {
+    use tetris::pauli::QubitMask;
+
+    /// The oracle: plain per-qubit membership flags.
+    fn model_of(mask: &QubitMask) -> Vec<bool> {
+        (0..mask.n_qubits()).map(|q| mask.contains(q)).collect()
+    }
+    fn random_pair(rng: &mut StdRng, n: usize) -> (QubitMask, Vec<bool>) {
+        let mut mask = QubitMask::empty(n);
+        let mut model = vec![false; n];
+        for (q, slot) in model.iter_mut().enumerate() {
+            if rng.gen_range(0..3usize) == 0 {
+                mask.insert(q);
+                *slot = true;
+            }
+        }
+        (mask, model)
+    }
+
+    // Widths straddling the 64-bit word boundary, plus a 3-word register.
+    for n in [63usize, 64, 65, 130] {
+        let mut rng = StdRng::seed_from_u64(0xb17 ^ n as u64);
+        for _ in 0..CASES {
+            let (mut a, mut ma) = random_pair(&mut rng, n);
+            let (b, mb) = random_pair(&mut rng, n);
+
+            // Point queries and counts agree with the model.
+            assert_eq!(model_of(&a), ma);
+            assert_eq!(a.count(), ma.iter().filter(|&&x| x).count());
+            assert_eq!(a.is_empty(), ma.iter().all(|&x| !x));
+
+            // Iterator round-trip: member list → rebuilt mask → identical.
+            let members: Vec<usize> = a.iter().collect();
+            assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert_eq!(members, a.to_vec());
+            let mut rebuilt = QubitMask::empty(n);
+            for &q in &members {
+                rebuilt.insert(q);
+            }
+            assert_eq!(rebuilt, a, "iterate→insert must reproduce the mask");
+
+            // Binary algebra against the model.
+            let expect = |f: fn(bool, bool) -> bool| -> Vec<bool> {
+                ma.iter().zip(&mb).map(|(&x, &y)| f(x, y)).collect()
+            };
+            let mut union = a.clone();
+            union.union_with(&b);
+            assert_eq!(model_of(&union), expect(|x, y| x || y));
+            let mut inter = a.clone();
+            inter.intersect_with(&b);
+            assert_eq!(model_of(&inter), expect(|x, y| x && y));
+            let mut diff = a.clone();
+            diff.subtract(&b);
+            assert_eq!(model_of(&diff), expect(|x, y| x && !y));
+
+            // Derived queries agree with the materialized intersection.
+            assert_eq!(a.intersection_count(&b), inter.count());
+            assert_eq!(a.intersects(&b), !inter.is_empty());
+
+            // Mutation: remove flips the model bit.
+            let q = rng.gen_range(0..n);
+            a.remove(q);
+            ma[q] = false;
+            assert_eq!(model_of(&a), ma);
+
+            // Tail-word hygiene: no operation may set bits ≥ n.
+            for m in [&a, &union, &inter, &diff] {
+                if let Some(&last) = m.words().last() {
+                    let used = n - (m.words().len() - 1) * 64;
+                    if used < 64 {
+                        assert_eq!(last >> used, 0, "garbage above bit {n}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn encoders_anticommute() {
     let mut rng = StdRng::seed_from_u64(0xaa);
     for _ in 0..CASES {
