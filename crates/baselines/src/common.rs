@@ -30,6 +30,14 @@ pub struct BaselineResult {
 /// Panics if `order` is empty or contains duplicates.
 pub fn chain_tree(order: &[usize]) -> SynthesisTree {
     assert!(!order.is_empty(), "empty chain");
+    // Up-front duplicate detection on a packed set — O(len) instead of the
+    // O(len²) scan `add_edge` would otherwise fall back to.
+    let width = order.iter().max().expect("non-empty") + 1;
+    let mut seen = tetris_pauli::mask::QubitMask::empty(width);
+    for &q in order {
+        assert!(!seen.contains(q), "duplicate qubit {q} in chain");
+        seen.insert(q);
+    }
     let root = *order.last().expect("non-empty");
     let mut tree = SynthesisTree::root_only(root, root);
     for i in (0..order.len() - 1).rev() {

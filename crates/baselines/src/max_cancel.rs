@@ -63,7 +63,7 @@ pub fn stability_chain(block: &tetris_pauli::PauliBlock) -> Vec<usize> {
             changes[q] += 1;
         }
     }
-    let mut order: Vec<usize> = block.terms[0].string.support().collect();
+    let mut order = tetris_pauli::mask::QubitMask::support_of(&block.terms[0].string).to_vec();
     order.sort_by_key(|&q| (changes[q], q));
     order
 }

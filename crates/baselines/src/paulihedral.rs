@@ -18,6 +18,7 @@ use tetris_core::cluster::{bfs_avoiding, swap_along};
 use tetris_core::emit::emit_block;
 use tetris_core::stats::CompileStats;
 use tetris_core::tree::{NodeKind, SynthesisTree};
+use tetris_pauli::mask::QubitMask;
 use tetris_pauli::Hamiltonian;
 use tetris_topology::{CouplingGraph, Layout};
 
@@ -89,33 +90,42 @@ pub fn grow_from_connected_component(
     support: &[usize],
 ) -> SynthesisTree {
     assert!(!support.is_empty());
-    let mut placed = vec![false; graph.n_qubits()];
+    let n_phys = graph.n_qubits();
+    let mut placed = QubitMask::empty(n_phys);
+    // Mapped support positions, as both an order-bearing Vec (component
+    // seeds iterate in support order) and a packed membership set.
     let positions: Vec<usize> = support
         .iter()
         .map(|&q| layout.phys_of(q).expect("qubit placed"))
         .collect();
+    let position_set = QubitMask::from_indices(n_phys, &positions);
 
     // Largest connected component among the mapped support positions.
     let mut best_cc: Vec<usize> = Vec::new();
-    let mut seen = vec![false; graph.n_qubits()];
+    let mut best_cc_set = QubitMask::empty(n_phys);
+    let mut seen = QubitMask::empty(n_phys);
     for &p in &positions {
-        if seen[p] {
+        if seen.contains(p) {
             continue;
         }
         let mut cc = vec![p];
-        seen[p] = true;
+        let mut cc_set = QubitMask::empty(n_phys);
+        cc_set.insert(p);
+        seen.insert(p);
         let mut stack = vec![p];
         while let Some(u) = stack.pop() {
             for &v in graph.neighbors(u) {
-                if !seen[v] && positions.contains(&v) {
-                    seen[v] = true;
+                if !seen.contains(v) && position_set.contains(v) {
+                    seen.insert(v);
                     cc.push(v);
+                    cc_set.insert(v);
                     stack.push(v);
                 }
             }
         }
         if cc.len() > best_cc.len() {
             best_cc = cc;
+            best_cc_set = cc_set;
         }
     }
 
@@ -124,24 +134,31 @@ pub fn grow_from_connected_component(
     // the comparison isolates root/leaf awareness, not tree bushiness.
     let root = best_cc[0];
     let mut tree = SynthesisTree::root_only(root, layout.logical_at(root).expect("data"));
-    placed[root] = true;
+    placed.insert(root);
+    let mut depth = vec![u32::MAX; n_phys];
+    depth[root] = 0;
     let mut frontier = vec![root];
     while let Some(u) = frontier.pop() {
         for &v in graph.neighbors(u) {
-            if best_cc.contains(&v) && !placed[v] {
+            if best_cc_set.contains(v) && !placed.contains(v) {
                 tree.add_edge(v, u, NodeKind::Data(layout.logical_at(v).expect("data")));
-                placed[v] = true;
+                placed.insert(v);
+                depth[v] = depth[u] + 1;
                 frontier.push(v);
             }
         }
     }
 
     // Attach the remaining support qubits by proximity (SWAPs only — no
-    // bridging in Paulihedral).
+    // bridging in Paulihedral). `placed` *is* the tree's node set here
+    // (it starts empty and only ever receives tree nodes), so the
+    // nearest-node scan walks its set bits directly; the worklist stays
+    // an order-bearing Vec (its swap-remove order is the historical
+    // tie-breaker of the nearest-first selection).
     let mut remaining: Vec<usize> = support
         .iter()
         .copied()
-        .filter(|&q| !placed[layout.phys_of(q).expect("qubit placed")])
+        .filter(|&q| !placed.contains(layout.phys_of(q).expect("qubit placed")))
         .collect();
     while !remaining.is_empty() {
         let (idx, _) = remaining
@@ -149,9 +166,9 @@ pub fn grow_from_connected_component(
             .enumerate()
             .min_by_key(|&(_, &q)| {
                 let p = layout.phys_of(q).expect("placed");
-                tree.nodes()
+                placed
                     .iter()
-                    .map(|&m| graph.dist(p, m))
+                    .map(|m| graph.dist(p, m))
                     .min()
                     .unwrap_or(u32::MAX)
             })
@@ -159,21 +176,24 @@ pub fn grow_from_connected_component(
         let q = remaining.swap_remove(idx);
         let start = layout.phys_of(q).expect("placed");
         let field = bfs_avoiding(graph, start, &placed);
-        let attach = (0..graph.n_qubits())
-            .filter(|&p| field.dist[p] != u32::MAX && !placed[p])
-            .filter(|&p| graph.neighbors(p).iter().any(|&m| placed[m]))
+        let attach = (0..n_phys)
+            .filter(|&p| field.dist[p] != u32::MAX && !placed.contains(p))
+            .filter(|&p| graph.neighbors(p).iter().any(|&m| placed.contains(m)))
             .min_by_key(|&p| (field.dist[p], p))
             .expect("connected graph");
-        let depths = tree.depths().expect("well-formed");
         let parent = *graph
             .neighbors(attach)
             .iter()
-            .filter(|&&m| placed[m])
-            .max_by_key(|&&m| (depths.get(&m).copied().unwrap_or(0), std::cmp::Reverse(m)))
+            .filter(|&&m| placed.contains(m))
+            .max_by_key(|&&m| {
+                let d = if depth[m] == u32::MAX { 0 } else { depth[m] };
+                (d, std::cmp::Reverse(m))
+            })
             .expect("borders cluster");
         swap_along(layout, out, &field.path_to(attach));
         tree.add_edge(attach, parent, NodeKind::Data(q));
-        placed[attach] = true;
+        placed.insert(attach);
+        depth[attach] = depth[parent] + 1;
     }
     tree
 }

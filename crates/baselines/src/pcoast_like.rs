@@ -30,14 +30,17 @@ pub fn logical_circuit(hamiltonian: &Hamiltonian) -> (Circuit, usize) {
         .collect();
 
     // Greedy similarity chain over blocks (start at max active length).
-    let mut remaining: Vec<usize> = (0..blocks.len()).collect();
+    // The unchained-block set is a packed mask — the per-round candidate
+    // scan walks set bits, and removal is one bit clear instead of a
+    // `retain` pass.
+    let mut remaining = tetris_pauli::mask::QubitMask::full(blocks.len());
     let mut order = Vec::with_capacity(blocks.len());
     if !remaining.is_empty() {
-        let first = *remaining
+        let first = remaining
             .iter()
-            .max_by_key(|&&i| (blocks[i].active_length(), std::cmp::Reverse(i)))
+            .max_by_key(|&i| (blocks[i].active_length(), std::cmp::Reverse(i)))
             .expect("non-empty");
-        remaining.retain(|&i| i != first);
+        remaining.remove(first);
         order.push(first);
         while !remaining.is_empty() {
             let last = *order.last().expect("non-empty");
@@ -46,10 +49,10 @@ pub fn logical_circuit(hamiltonian: &Hamiltonian) -> (Circuit, usize) {
             // every comparison).
             let (_, next) = remaining
                 .iter()
-                .map(|&i| (blocks[last].similarity(&blocks[i]), i))
+                .map(|i| (blocks[last].similarity(&blocks[i]), i))
                 .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
                 .expect("non-empty");
-            remaining.retain(|&i| i != next);
+            remaining.remove(next);
             order.push(next);
         }
     }

@@ -5,11 +5,17 @@
 //! per-string fallback path, and by the Paulihedral-like baseline (which
 //! gathers a block's *entire* support this way — the paper's §III
 //! "connected component" growth).
+//!
+//! All qubit sets here are packed [`QubitMask`]s: the gather loop's
+//! member/frontier tracking, the BFS walls and the `findCenter` candidate
+//! scan run on word-parallel set operations; `Vec<usize>` appears only in
+//! BFS path reconstruction, where order is the payload.
 
 use crate::config::TreeBias;
 use crate::tree::{NodeKind, SynthesisTree};
 use std::collections::VecDeque;
 use tetris_circuit::{Circuit, Gate};
+use tetris_pauli::mask::QubitMask;
 use tetris_topology::{CouplingGraph, Layout};
 
 /// Result of a BFS over the coupling graph that treats `blocked` nodes as
@@ -40,8 +46,9 @@ impl BfsField {
     }
 }
 
-/// BFS from `start`, never entering nodes where `blocked[node]` is true.
-pub fn bfs_avoiding(graph: &CouplingGraph, start: usize, blocked: &[bool]) -> BfsField {
+/// BFS from `start`, never entering nodes in the `blocked` set (start is
+/// always allowed).
+pub fn bfs_avoiding(graph: &CouplingGraph, start: usize, blocked: &QubitMask) -> BfsField {
     let n = graph.n_qubits();
     let mut dist = vec![u32::MAX; n];
     let mut prev = vec![usize::MAX; n];
@@ -50,7 +57,7 @@ pub fn bfs_avoiding(graph: &CouplingGraph, start: usize, blocked: &[bool]) -> Bf
     queue.push_back(start);
     while let Some(u) = queue.pop_front() {
         for &v in graph.neighbors(u) {
-            if dist[v] == u32::MAX && !blocked[v] {
+            if dist[v] == u32::MAX && !blocked.contains(v) {
                 dist[v] = dist[u] + 1;
                 prev[v] = u;
                 queue.push_back(v);
@@ -70,33 +77,32 @@ pub fn swap_along(layout: &mut Layout, out: &mut Circuit, path: &[usize]) {
 }
 
 /// The paper's `findCenter`: the physical node minimizing the total distance
-/// to the current positions of `qubits`. Ties prefer nodes already hosting
-/// one of the qubits, then lower indices (deterministic).
+/// to the current positions of the `qubits` set. Ties prefer nodes already
+/// hosting one of the qubits, then lower indices (deterministic).
 ///
 /// # Panics
 /// Panics if `qubits` is empty or one of them is unplaced.
-pub fn find_center(graph: &CouplingGraph, layout: &Layout, qubits: &[usize]) -> usize {
+pub fn find_center(graph: &CouplingGraph, layout: &Layout, qubits: &QubitMask) -> usize {
     assert!(!qubits.is_empty(), "findCenter of an empty set");
-    let positions: Vec<usize> = qubits
-        .iter()
-        .map(|&q| layout.phys_of(q).expect("qubit placed"))
-        .collect();
+    let mut positions = QubitMask::empty(graph.n_qubits());
+    for q in qubits.iter() {
+        positions.insert(layout.phys_of(q).expect("qubit placed"));
+    }
     (0..graph.n_qubits())
         .min_by_key(|&c| {
-            let cost: u64 = positions.iter().map(|&p| graph.dist(c, p) as u64).sum();
-            let hosts = positions.contains(&c);
-            (cost, !hosts, c)
+            let cost: u64 = positions.iter().map(|p| graph.dist(c, p) as u64).sum();
+            (cost, !positions.contains(c), c)
         })
         .expect("non-empty graph")
 }
 
-/// Gathers `qubits` into a contiguous cluster around `center` (Algorithm 1
-/// lines 4–8 generalized): qubits are routed one at a time, nearest first;
-/// each lands on a free-of-cluster node adjacent to the growing cluster and
-/// records that neighbor as its tree parent.
+/// Gathers the `qubits` set into a contiguous cluster around `center`
+/// (Algorithm 1 lines 4–8 generalized): qubits are routed one at a time,
+/// nearest first; each lands on a free-of-cluster node adjacent to the
+/// growing cluster and records that neighbor as its tree parent.
 ///
-/// Emits SWAPs into `out`, updates `layout`, and marks every cluster node in
-/// `placed`. Returns the cluster tree rooted at `center`.
+/// Emits SWAPs into `out`, updates `layout`, and inserts every cluster node
+/// into `placed`. Returns the cluster tree rooted at `center`.
 ///
 /// # Panics
 /// Panics if `qubits` is empty, or if the graph is too fragmented to host
@@ -105,19 +111,24 @@ pub fn gather_cluster(
     graph: &CouplingGraph,
     layout: &mut Layout,
     out: &mut Circuit,
-    qubits: &[usize],
+    qubits: &QubitMask,
     center: usize,
-    placed: &mut [bool],
+    placed: &mut QubitMask,
     bias: TreeBias,
 ) -> SynthesisTree {
     assert!(!qubits.is_empty(), "cannot gather an empty set");
-    let mut remaining: Vec<usize> = qubits.to_vec();
+    let mut remaining = qubits.clone();
     // The qubit closest to the center becomes the root occupant.
-    remaining.sort_by_key(|&q| {
-        let p = layout.phys_of(q).expect("qubit placed");
-        (graph.dist(center, p), q)
-    });
-    let first = remaining.remove(0);
+    let first = remaining
+        .iter()
+        .min_by_key(|&q| {
+            (
+                graph.dist(center, layout.phys_of(q).expect("qubit placed")),
+                q,
+            )
+        })
+        .expect("non-empty set");
+    remaining.remove(first);
     let p_first = layout.phys_of(first).expect("qubit placed");
     if p_first != center {
         let path = graph
@@ -126,34 +137,39 @@ pub fn gather_cluster(
         swap_along(layout, out, &path);
     }
     let mut tree = SynthesisTree::root_only(center, first);
-    placed[center] = true;
+    placed.insert(center);
+    // Cluster membership and node depths, tracked incrementally — the
+    // inner loops below probe these instead of re-deriving `tree.nodes()`
+    // / `tree.depths()` per attachment.
+    let mut cluster = QubitMask::empty(graph.n_qubits());
+    cluster.insert(center);
+    let mut depth = vec![u32::MAX; graph.n_qubits()];
+    depth[center] = 0;
 
     while !remaining.is_empty() {
         // Nearest-to-cluster first (free distances are a fine ordering
         // heuristic; exact avoidance happens in the BFS below).
-        let (idx, _) = remaining
+        let q = remaining
             .iter()
-            .enumerate()
-            .min_by_key(|&(_, &q)| {
+            .min_by_key(|&q| {
                 let p = layout.phys_of(q).expect("qubit placed");
-                let d = tree
-                    .nodes()
+                let d = cluster
                     .iter()
-                    .map(|&m| graph.dist(p, m))
+                    .map(|m| graph.dist(p, m))
                     .min()
                     .unwrap_or(u32::MAX);
                 (d, q)
             })
             .expect("remaining is non-empty");
-        let q = remaining.swap_remove(idx);
+        remaining.remove(q);
         let start = layout.phys_of(q).expect("qubit placed");
 
         let field = bfs_avoiding(graph, start, placed);
         // Attach at the reachable node (possibly `start` itself) that is
         // adjacent to the cluster, minimizing travel distance.
         let attach = (0..graph.n_qubits())
-            .filter(|&nddd| field.dist[nddd] != u32::MAX && !placed[nddd])
-            .filter(|&node| graph.neighbors(node).iter().any(|&m| placed[m]))
+            .filter(|&node| field.dist[node] != u32::MAX && !placed.contains(node))
+            .filter(|&node| graph.neighbors(node).iter().any(|&m| placed.contains(m)))
             .min_by_key(|&node| (field.dist[node], node))
             .expect("a connected graph always exposes a cluster-adjacent node");
         // Parent choice is the tree-shape knob: chain-shaped trees (deepest
@@ -162,13 +178,12 @@ pub fn gather_cluster(
         // and deep edges avoid the frequently-changing center (which also
         // carries the Rz). Balanced (shallowest parent) trades cancellation
         // for depth; see the ablation bench.
-        let depths = tree.depths().expect("tree well-formed");
         let parent = *graph
             .neighbors(attach)
             .iter()
-            .filter(|&&m| placed[m])
+            .filter(|&&m| placed.contains(m))
             .max_by_key(|&&m| {
-                let d = depths.get(&m).copied().unwrap_or(0);
+                let d = if depth[m] == u32::MAX { 0 } else { depth[m] };
                 let key = match bias {
                     TreeBias::Chain => d as i64,
                     TreeBias::Balanced => -(d as i64),
@@ -178,7 +193,9 @@ pub fn gather_cluster(
             .expect("attach node borders the cluster");
         swap_along(layout, out, &field.path_to(attach));
         tree.add_edge(attach, parent, NodeKind::Data(q));
-        placed[attach] = true;
+        placed.insert(attach);
+        cluster.insert(attach);
+        depth[attach] = depth[parent] + 1;
     }
     tree
 }
@@ -193,9 +210,12 @@ mod tests {
         let l = Layout::trivial(7, 7);
         // Qubits at 0 and 6: any middle node minimizes; tie-break picks 3?
         // cost is equal (6) for all of 0..=6 — hosting nodes win: 0.
-        assert_eq!(find_center(&g, &l, &[0, 6]), 0);
+        assert_eq!(find_center(&g, &l, &QubitMask::from_indices(7, &[0, 6])), 0);
         // Qubits at 2,3,4 → 3 hosts and minimizes.
-        assert_eq!(find_center(&g, &l, &[2, 3, 4]), 3);
+        assert_eq!(
+            find_center(&g, &l, &QubitMask::from_indices(7, &[2, 3, 4])),
+            3
+        );
     }
 
     #[test]
@@ -203,12 +223,12 @@ mod tests {
         let g = CouplingGraph::line(8);
         let mut l = Layout::trivial(8, 8);
         let mut c = Circuit::new(8);
-        let mut placed = vec![false; 8];
+        let mut placed = QubitMask::empty(8);
         let tree = gather_cluster(
             &g,
             &mut l,
             &mut c,
-            &[0, 3, 7],
+            &QubitMask::from_indices(8, &[0, 3, 7]),
             3,
             &mut placed,
             TreeBias::Chain,
@@ -231,12 +251,12 @@ mod tests {
         let g = CouplingGraph::line(6);
         let mut l = Layout::trivial(6, 6);
         let mut c = Circuit::new(6);
-        let mut placed = vec![false; 6];
+        let mut placed = QubitMask::empty(6);
         let tree = gather_cluster(
             &g,
             &mut l,
             &mut c,
-            &[1, 2, 3],
+            &QubitMask::from_indices(6, &[1, 2, 3]),
             2,
             &mut placed,
             TreeBias::Chain,
@@ -248,8 +268,7 @@ mod tests {
     #[test]
     fn bfs_respects_walls() {
         let g = CouplingGraph::ring(6);
-        let mut blocked = vec![false; 6];
-        blocked[1] = true;
+        let blocked = QubitMask::from_indices(6, &[1]);
         let f = bfs_avoiding(&g, 0, &blocked);
         assert_eq!(f.dist[2], 4); // the long way around
         assert_eq!(f.path_to(2), vec![0, 5, 4, 3, 2]);
@@ -261,8 +280,9 @@ mod tests {
         let g = CouplingGraph::heavy_hex_65();
         let mut l = Layout::trivial(30, 65);
         let mut c = Circuit::new(65);
-        let mut placed = vec![false; 65];
+        let mut placed = QubitMask::empty(65);
         let qubits: Vec<usize> = (0..12).collect();
+        let qubits = QubitMask::from_indices(30, &qubits);
         let center = find_center(&g, &l, &qubits);
         let tree = gather_cluster(
             &g,

@@ -90,11 +90,15 @@ impl TetrisCompiler {
         let mut block_order = Vec::with_capacity(blocks.len());
         let mut emitted_blocks: Vec<PauliBlock> = Vec::with_capacity(blocks.len());
         let mut last_string: Option<tetris_pauli::PauliString> = None;
-        let mut remaining: Vec<usize> = (0..blocks.len()).collect();
+        // The set of unscheduled block indices, packed: the scheduler's
+        // candidate scans walk set bits instead of a shrinking Vec.
+        let mut remaining = tetris_pauli::mask::QubitMask::full(blocks.len());
         let mut last: Option<usize> = None;
         while !remaining.is_empty() {
             let next = match (self.config.scheduler, last) {
-                (SchedulerKind::InputOrder, _) => remaining[0],
+                (SchedulerKind::InputOrder, _) => {
+                    remaining.first().expect("non-empty remaining set")
+                }
                 (SchedulerKind::Lookahead, None) => pick_first(&blocks, &remaining),
                 (SchedulerKind::Lookahead, Some(l)) => pick_next(
                     &blocks,
@@ -105,7 +109,7 @@ impl TetrisCompiler {
                     &layout,
                 ),
             };
-            remaining.retain(|&i| i != next);
+            remaining.remove(next);
             let b = &blocks[next];
             let tree = synthesize_block(graph, &mut layout, &mut circuit, b, &self.config);
             // Orient the block so its first string is most similar to the

@@ -28,6 +28,7 @@ use crate::tree::{NodeKind, SynthesisTree};
 use std::time::Instant;
 use tetris_circuit::{cancel_gates_commutative, Circuit, Gate, Metrics};
 use tetris_pauli::ir::{TetrisBlock, TetrisIr};
+use tetris_pauli::mask::QubitMask;
 use tetris_topology::{CouplingGraph, Layout};
 
 /// Whether the workload is 2-local with single-string blocks (QAOA-shaped).
@@ -60,25 +61,33 @@ impl SplitMix {
 pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig) -> CompileResult {
     let t0 = Instant::now();
     let n = ir.n_qubits;
-    // (block index, qubits, angle)
+    // One entry per block: the ≤ 2 endpoints of its single string,
+    // extracted once from the packed support by bit cursors (the
+    // executable/lookahead scans only ever need the endpoints, so the
+    // mask itself is not retained).
     struct Term {
         index: usize,
-        qubits: Vec<usize>,
+        u: usize,
+        v: Option<usize>,
     }
     let terms: Vec<Term> = ir
         .blocks
         .iter()
         .enumerate()
-        .map(|(index, b)| Term {
-            index,
-            qubits: b.block.union_support(),
+        .map(|(index, b)| {
+            let support = QubitMask::support_of(&b.block.terms[0].string);
+            debug_assert!(
+                support.count() <= 2,
+                "compile_qaoa requires 2-local terms (see is_two_local)"
+            );
+            let u = support.first().expect("non-identity term");
+            let v = support
+                .next_at_or_after((u + 1).min(support.n_qubits() - 1))
+                .filter(|&v| v != u);
+            Term { index, u, v }
         })
         .collect();
-    let pairs: Vec<(usize, usize)> = terms
-        .iter()
-        .filter(|t| t.qubits.len() == 2)
-        .map(|t| (t.qubits[0], t.qubits[1]))
-        .collect();
+    let pairs: Vec<(usize, usize)> = terms.iter().filter_map(|t| t.v.map(|v| (t.u, v))).collect();
 
     // 1. Placement.
     let initial_layout = place(graph, n, &pairs, 0x7e7215);
@@ -98,30 +107,29 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
                      bridge_path: Option<&[usize]>| {
         let b = &ir.blocks[terms[ti].index];
         let term = &b.block.terms[0];
-        let qs = &terms[ti].qubits;
-        let tree = match (qs.as_slice(), bridge_path) {
-            ([q], _) => SynthesisTree::root_only(layout.phys_of(*q).expect("placed"), *q),
-            ([u, v], None) => {
+        let u = terms[ti].u;
+        let tree = match (terms[ti].v, bridge_path) {
+            (None, _) => SynthesisTree::root_only(layout.phys_of(u).expect("placed"), u),
+            (Some(v), None) => {
                 let (pu, pv) = (
-                    layout.phys_of(*u).expect("placed"),
-                    layout.phys_of(*v).expect("placed"),
+                    layout.phys_of(u).expect("placed"),
+                    layout.phys_of(v).expect("placed"),
                 );
-                let mut t = SynthesisTree::root_only(pv, *v);
-                t.add_edge(pu, pv, NodeKind::Data(*u));
+                let mut t = SynthesisTree::root_only(pv, v);
+                t.add_edge(pu, pv, NodeKind::Data(u));
                 t
             }
-            ([u, v], Some(path)) => {
+            (Some(v), Some(path)) => {
                 // path = [pos(u), anc…, pos(v)]
-                let mut t = SynthesisTree::root_only(*path.last().expect("non-empty"), *v);
+                let mut t = SynthesisTree::root_only(*path.last().expect("non-empty"), v);
                 let mut parent = *path.last().expect("non-empty");
                 for &anc in path[1..path.len() - 1].iter().rev() {
                     t.add_edge(anc, parent, NodeKind::Bridge);
                     parent = anc;
                 }
-                t.add_edge(path[0], parent, NodeKind::Data(*u));
+                t.add_edge(path[0], parent, NodeKind::Data(u));
                 t
             }
-            _ => unreachable!("2-local terms only"),
         };
         emit_string(&tree, &term.string, b.block.angle * term.coeff, circuit);
         block_order.push(terms[ti].index);
@@ -130,21 +138,23 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
 
     while !remaining.is_empty() {
         // Emit every currently-executable term (weight-1 terms always are).
+        // `remaining` stays an order-bearing Vec on purpose: the
+        // swap-remove scan order *is* the emission order, and the packed
+        // form would reorder emissions (the per-term sets are the masks
+        // above).
         let mut progressed = false;
         let mut i = 0;
         while i < remaining.len() {
             let ti = remaining[i];
-            let qs = &terms[ti].qubits;
-            let executable = match qs.as_slice() {
-                [_] => true,
-                [u, v] => graph.are_adjacent(
-                    layout.phys_of(*u).expect("placed"),
-                    layout.phys_of(*v).expect("placed"),
+            let executable = match terms[ti].v {
+                None => true,
+                Some(v) => graph.are_adjacent(
+                    layout.phys_of(terms[ti].u).expect("placed"),
+                    layout.phys_of(v).expect("placed"),
                 ),
-                _ => unreachable!(),
             };
             if executable {
-                original_cnots += 2 * (qs.len() - 1);
+                original_cnots += 2 * usize::from(terms[ti].v.is_some());
                 emit_term(
                     ti,
                     &layout,
@@ -166,21 +176,23 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
             continue;
         }
 
-        // Stuck: take the closest blocked term.
+        // Stuck: take the closest blocked term (blocked ⇒ two endpoints).
         let &ti = remaining
             .iter()
             .min_by_key(|&&ti| {
-                let qs = &terms[ti].qubits;
                 graph.dist(
-                    layout.phys_of(qs[0]).expect("placed"),
-                    layout.phys_of(qs[1]).expect("placed"),
+                    layout.phys_of(terms[ti].u).expect("placed"),
+                    layout
+                        .phys_of(terms[ti].v.expect("blocked terms are 2-local"))
+                        .expect("placed"),
                 )
             })
             .expect("non-empty");
-        let qs = terms[ti].qubits.clone();
         let (pu, pv) = (
-            layout.phys_of(qs[0]).expect("placed"),
-            layout.phys_of(qs[1]).expect("placed"),
+            layout.phys_of(terms[ti].u).expect("placed"),
+            layout
+                .phys_of(terms[ti].v.expect("blocked terms are 2-local"))
+                .expect("placed"),
         );
         let path = graph.shortest_path(pu, pv).expect("connected device");
 
@@ -193,13 +205,13 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
             .iter()
             .filter(|&&tj| tj != ti)
             .filter(|&&tj| {
-                let q = &terms[tj].qubits;
-                if q.len() != 2 {
+                let Some(v) = terms[tj].v else {
                     return false;
-                }
+                };
+                let u = terms[tj].u;
                 let d_before = graph.dist(
-                    layout.phys_of(q[0]).expect("placed"),
-                    layout.phys_of(q[1]).expect("placed"),
+                    layout.phys_of(u).expect("placed"),
+                    layout.phys_of(v).expect("placed"),
                 );
                 let pos = |lq: usize| {
                     let p = layout.phys_of(lq).expect("placed");
@@ -211,7 +223,7 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
                         p
                     }
                 };
-                graph.dist(pos(q[0]), pos(q[1])) < d_before
+                graph.dist(pos(u), pos(v)) < d_before
             })
             .count();
         let interior_free = path[1..path.len() - 1].iter().all(|&p| layout.is_free(p));

@@ -14,17 +14,18 @@
 
 use crate::cluster::find_center;
 use tetris_pauli::ir::TetrisBlock;
+use tetris_pauli::mask::QubitMask;
 use tetris_topology::{CouplingGraph, Layout};
 
 /// Estimated SWAPs needed to gather `block`'s root set under `layout`: the
 /// sum of (distance to the would-be center − 1) over root qubits. Cheap and
 /// monotone in the real cost, which is all ranking needs.
 pub fn root_gather_cost(graph: &CouplingGraph, layout: &Layout, block: &TetrisBlock) -> u64 {
-    let center = find_center(graph, layout, &block.root_set);
+    let center = find_center(graph, layout, &block.root_mask);
     block
-        .root_set
+        .root_mask
         .iter()
-        .map(|&q| {
+        .map(|q| {
             let p = layout.phys_of(q).expect("qubit placed");
             (graph.dist(center, p) as u64).saturating_sub(1)
         })
@@ -32,11 +33,12 @@ pub fn root_gather_cost(graph: &CouplingGraph, layout: &Layout, block: &TetrisBl
 }
 
 /// Index (into `blocks`) of the first block to schedule: maximum active
-/// length, ties toward the original order.
-pub fn pick_first(blocks: &[TetrisBlock], remaining: &[usize]) -> usize {
-    *remaining
+/// length, ties toward the original order. `remaining` is the packed set
+/// of still-unscheduled block indices.
+pub fn pick_first(blocks: &[TetrisBlock], remaining: &QubitMask) -> usize {
+    remaining
         .iter()
-        .max_by_key(|&&i| (blocks[i].active_length(), std::cmp::Reverse(i)))
+        .max_by_key(|&i| (blocks[i].active_length(), std::cmp::Reverse(i)))
         .expect("non-empty schedule")
 }
 
@@ -44,7 +46,7 @@ pub fn pick_first(blocks: &[TetrisBlock], remaining: &[usize]) -> usize {
 /// root-gathering cost (ties toward the original order).
 pub fn pick_next(
     blocks: &[TetrisBlock],
-    remaining: &[usize],
+    remaining: &QubitMask,
     last: usize,
     k: usize,
     graph: &CouplingGraph,
@@ -53,7 +55,7 @@ pub fn pick_next(
     debug_assert!(!remaining.is_empty());
     let mut ranked: Vec<(f64, usize)> = remaining
         .iter()
-        .map(|&i| (blocks[last].similarity(&blocks[i]), i))
+        .map(|i| (blocks[last].similarity(&blocks[i]), i))
         .collect();
     // Descending similarity, ascending index.
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
@@ -89,7 +91,7 @@ mod tests {
             block(&["XYZZZ", "YXZZZ"]), // active 5
             block(&["XYZZI", "YXZZI"]), // active 4
         ];
-        let remaining: Vec<usize> = (0..3).collect();
+        let remaining = QubitMask::full(3);
         assert_eq!(pick_first(&blocks, &remaining), 1);
     }
 
@@ -104,10 +106,16 @@ mod tests {
         ];
         // With k = 1 the similarity ranking gates the candidate set: only
         // block 1 survives, despite block 2's cheaper root gathering.
-        assert_eq!(pick_next(&blocks, &[1, 2], 0, 1, &g, &l), 1);
+        assert_eq!(
+            pick_next(&blocks, &QubitMask::from_indices(3, &[1, 2]), 0, 1, &g, &l),
+            1
+        );
         // With k ≥ remaining, every block is a candidate and the SWAP-cost
         // tie-breaker picks the cheaper root set (paper §V-B step 3).
-        assert_eq!(pick_next(&blocks, &[1, 2], 0, 10, &g, &l), 2);
+        assert_eq!(
+            pick_next(&blocks, &QubitMask::from_indices(3, &[1, 2]), 0, 10, &g, &l),
+            2
+        );
     }
 
     #[test]
@@ -121,7 +129,10 @@ mod tests {
             block(&["IXZZZY", "IYZZZX"]),
             block(&["XYIIII", "YXIIII"]),
         ];
-        assert_eq!(pick_next(&blocks, &[1, 2], 0, 1, &g, &l), 1);
+        assert_eq!(
+            pick_next(&blocks, &QubitMask::from_indices(3, &[1, 2]), 0, 1, &g, &l),
+            1
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::config::TetrisConfig;
 use crate::tree::{NodeKind, SynthesisTree};
 use tetris_circuit::Circuit;
 use tetris_pauli::ir::TetrisBlock;
+use tetris_pauli::mask::QubitMask;
 use tetris_topology::{CouplingGraph, Layout};
 
 /// The paper's leaf score:
@@ -44,52 +45,55 @@ pub fn synthesize_block(
     block: &TetrisBlock,
     config: &TetrisConfig,
 ) -> SynthesisTree {
-    let mut placed = vec![false; graph.n_qubits()];
+    let mut placed = QubitMask::empty(graph.n_qubits());
 
     // 1. Root tree: cluster the root set around the center (Alg. 1 l. 4-8).
-    let center = find_center(graph, layout, &block.root_set);
+    let center = find_center(graph, layout, &block.root_mask);
     let mut tree = gather_cluster(
         graph,
         layout,
         out,
-        &block.root_set,
+        &block.root_mask,
         center,
         &mut placed,
         config.tree_bias,
     );
-    let root_positions: Vec<usize> = tree.nodes().to_vec();
-    let is_root_node = |p: usize| root_positions.contains(&p);
+    let root_positions = tree.node_mask(graph.n_qubits());
 
     // 2. Leaf trees: attach leaf qubits by minimum score (Alg. 1 l. 9-14).
     let n_strings = block.n_strings();
-    let mut unplaced: Vec<usize> = block.leaf_set.clone();
+    let mut unplaced = block.leaf_mask.clone();
     while !unplaced.is_empty() {
         // Evaluate score(qn, qm) for every unplaced leaf and placed node;
         // ties break on (d, qn, qm) for determinism.
         struct Candidate {
             score: f64,
             d: u32,
-            qi: usize,
             qn: usize,
             qm: usize,
             attach: usize,
             path: Vec<usize>,
         }
         let mut best: Option<Candidate> = None;
-        for (qi, &qn) in unplaced.iter().enumerate() {
+        for qn in unplaced.iter() {
             let start = layout.phys_of(qn).expect("leaf qubit placed");
             let field = bfs_avoiding(graph, start, &placed);
-            for &qm in tree.nodes().iter() {
+            for qm in tree.nodes_iter() {
                 // d = 1 + min reachable distance to a free neighbor of qm
                 // (d = 1 when qn is already adjacent to qm).
                 let reach = graph
                     .neighbors(qm)
                     .iter()
-                    .filter(|&&nb| field.dist[nb] != u32::MAX && !placed[nb])
+                    .filter(|&&nb| field.dist[nb] != u32::MAX && !placed.contains(nb))
                     .min_by_key(|&&nb| (field.dist[nb], nb));
                 let Some(&nb) = reach else { continue };
                 let d = field.dist[nb] + 1;
-                let score = leaf_score(d, is_root_node(qm), n_strings, config.swap_weight);
+                let score = leaf_score(
+                    d,
+                    root_positions.contains(qm),
+                    n_strings,
+                    config.swap_weight,
+                );
                 let better = match &best {
                     None => true,
                     Some(b) => {
@@ -103,7 +107,6 @@ pub fn synthesize_block(
                     best = Some(Candidate {
                         score,
                         d,
-                        qi,
                         qn,
                         qm,
                         attach: nb,
@@ -113,13 +116,13 @@ pub fn synthesize_block(
             }
         }
         let Candidate {
-            qi,
+            qn,
             qm,
             attach,
             path,
             ..
         } = best.expect("a connected graph always exposes an attachable node");
-        let qn = unplaced.swap_remove(qi);
+        unplaced.remove(qn);
 
         // Bridging (§IV-C): if every interior node of the path is a free
         // |0> ancilla, ride through it with pass-through tree nodes instead
@@ -133,16 +136,16 @@ pub fn synthesize_block(
             // so iterate from qm backwards).
             for &anc in interior.iter().rev() {
                 tree.add_edge(anc, parent_chain, NodeKind::Bridge);
-                placed[anc] = true;
+                placed.insert(anc);
                 parent_chain = anc;
             }
             tree.add_edge(start, parent_chain, NodeKind::Data(qn));
-            placed[start] = true;
+            placed.insert(start);
         } else {
             // SWAP qn adjacent to qm: move along path up to `attach`.
             swap_along(layout, out, &path[..path.len() - 1]);
             tree.add_edge(attach, qm, NodeKind::Data(qn));
-            placed[attach] = true;
+            placed.insert(attach);
         }
     }
     tree

@@ -65,9 +65,26 @@ impl SynthesisTree {
 
     /// All physical nodes of the tree (root + children).
     pub fn nodes(&self) -> Vec<usize> {
-        let mut out = vec![self.root];
-        out.extend(self.edges.iter().map(|e| e.child));
-        out
+        self.nodes_iter().collect()
+    }
+
+    /// Iterator over the physical nodes (root first, then children in
+    /// attachment order) without materializing a `Vec` — the inner-loop
+    /// form; [`nodes`](Self::nodes) is the API-edge form.
+    pub fn nodes_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::once(self.root).chain(self.edges.iter().map(|e| e.child))
+    }
+
+    /// The tree's node set as a packed mask over an `n_phys`-wide device.
+    ///
+    /// # Panics
+    /// Panics if a node index is ≥ `n_phys`.
+    pub fn node_mask(&self, n_phys: usize) -> tetris_pauli::mask::QubitMask {
+        let mut m = tetris_pauli::mask::QubitMask::empty(n_phys);
+        for p in self.nodes_iter() {
+            m.insert(p);
+        }
+        m
     }
 
     /// Physical positions of the data qubits with their logical indices

@@ -41,6 +41,10 @@ pub struct CacheStats {
     pub disk_stores: u64,
     /// Disk writes that failed (the engine keeps running on memory alone).
     pub disk_store_errors: u64,
+    /// Disk files deleted by the byte-budget GC sweep.
+    pub disk_gc_evictions: u64,
+    /// Corrupt/partial disk files purged (failed decodes, stale temps).
+    pub disk_purged: u64,
 }
 
 impl CacheStats {
@@ -118,8 +122,19 @@ impl ResultCache {
     /// write through to both; a later process pointed at the same
     /// directory is served from disk instead of the compilers.
     pub fn with_disk(capacity: usize, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        ResultCache::with_disk_budgeted(capacity, dir, None)
+    }
+
+    /// [`with_disk`](ResultCache::with_disk) with a byte budget on the
+    /// results directory: stores that push past it trigger an LRU-by-mtime
+    /// sweep (see [`DiskCache::open_budgeted`]).
+    pub fn with_disk_budgeted(
+        capacity: usize,
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<Self> {
         let mut cache = ResultCache::new(capacity);
-        cache.disk = Some(DiskCache::open(dir)?);
+        cache.disk = Some(DiskCache::open_budgeted(dir, max_bytes)?);
         Ok(cache)
     }
 
@@ -204,6 +219,8 @@ impl ResultCache {
             disk_misses: disk.misses,
             disk_stores: disk.stores,
             disk_store_errors: disk.store_errors,
+            disk_gc_evictions: disk.gc_evictions,
+            disk_purged: disk.purged,
         }
     }
 

@@ -6,6 +6,13 @@
 //! writer can never leave a half-written file under a valid name; loads
 //! route every I/O or decode failure into a plain miss — a corrupt cache
 //! directory degrades throughput, never correctness.
+//!
+//! With a byte budget ([`DiskCache::open_budgeted`], wired to
+//! `--cache-max-bytes`), every store is followed by an LRU-by-mtime sweep:
+//! oldest result files are deleted until the directory fits the budget,
+//! and corrupt or partial leftovers (failed decodes, orphaned `.tmp`
+//! files) are purged and counted along the way, so a long-lived results
+//! directory stays bounded instead of growing forever.
 
 use crate::backend::EngineOutput;
 use crate::codec::{decode_output, encode_output};
@@ -26,6 +33,11 @@ pub struct DiskStats {
     /// Stores that failed (full disk, permissions, …) — the engine keeps
     /// running on the memory tier alone.
     pub store_errors: u64,
+    /// Result files deleted by the byte-budget sweep (LRU by mtime).
+    pub gc_evictions: u64,
+    /// Corrupt or partial files removed: failed decodes purged on load,
+    /// orphaned temp files collected by the sweep.
+    pub purged: u64,
 }
 
 /// The persistent tier under [`ResultCache`](crate::ResultCache): a results
@@ -33,24 +45,52 @@ pub struct DiskStats {
 #[derive(Debug)]
 pub struct DiskCache {
     dir: PathBuf,
+    /// Byte budget for the directory's result files (`None` = unbounded).
+    max_bytes: Option<u64>,
+    /// Running estimate of the directory's result bytes (seeded by a scan
+    /// at open, bumped per store, reconciled by each sweep). Keeps the
+    /// store hot path free of per-store `read_dir` scans: the real scan
+    /// only runs when the estimate crosses the budget. Concurrent writers
+    /// in other processes make the estimate low, never high — their next
+    /// crossing reconciles it.
+    approx_bytes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     store_errors: AtomicU64,
+    gc_evictions: AtomicU64,
+    purged: AtomicU64,
 }
 
 impl DiskCache {
-    /// Opens (creating if needed) a results directory.
+    /// Opens (creating if needed) a results directory with no size budget.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        DiskCache::open_budgeted(dir, None)
+    }
+
+    /// Opens a results directory holding at most `max_bytes` of result
+    /// files: once a store pushes the total past the budget, the sweep
+    /// deletes least-recently-modified files until it fits again.
+    pub fn open_budgeted(dir: impl Into<PathBuf>, max_bytes: Option<u64>) -> io::Result<DiskCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(DiskCache {
+        let cache = DiskCache {
             dir,
+            max_bytes,
+            approx_bytes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             store_errors: AtomicU64::new(0),
-        })
+            gc_evictions: AtomicU64::new(0),
+            purged: AtomicU64::new(0),
+        };
+        if max_bytes.is_some() {
+            cache
+                .approx_bytes
+                .store(cache.total_bytes(), Ordering::Relaxed);
+        }
+        Ok(cache)
     }
 
     /// The results directory.
@@ -65,20 +105,35 @@ impl DiskCache {
 
     /// Loads the result stored under `key`. Any failure — no file, short
     /// file, flipped bits, foreign content, unreadable directory — is a
-    /// miss, never an error or a panic.
+    /// miss, never an error or a panic. A file that exists but fails to
+    /// decode is additionally deleted (and counted in
+    /// [`DiskStats::purged`]): it can never serve a hit, so keeping it
+    /// only wastes budget and re-pays the failed decode on every lookup.
     pub fn load(&self, key: u64) -> Option<EngineOutput> {
-        let loaded = std::fs::read(self.path_of(key))
-            .ok()
-            .and_then(|bytes| decode_output(&bytes).ok());
-        match loaded {
-            Some(output) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(output)
-            }
-            None => {
+        let path = self.path_of(key);
+        match std::fs::read(&path) {
+            Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
+            Ok(bytes) => match decode_output(&bytes) {
+                Ok(output) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(output)
+                }
+                Err(_) => {
+                    if std::fs::remove_file(&path).is_ok() {
+                        self.purged.fetch_add(1, Ordering::Relaxed);
+                        let _ = self.approx_bytes.fetch_update(
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                            |v| Some(v.saturating_sub(bytes.len() as u64)),
+                        );
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
         }
     }
 
@@ -103,10 +158,94 @@ impl DiskCache {
             .is_ok();
         if committed {
             self.stores.fetch_add(1, Ordering::Relaxed);
+            let estimate = self
+                .approx_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed)
+                + bytes.len() as u64;
+            if self.max_bytes.is_some_and(|budget| estimate > budget) {
+                self.enforce_budget();
+            }
         } else {
             let _ = std::fs::remove_file(&tmp);
             self.store_errors.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Total bytes of committed result files currently in the directory.
+    pub fn total_bytes(&self) -> u64 {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "teoc"))
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// The byte-budget sweep: collects every result file with its mtime
+    /// and size, deletes oldest-first until the directory fits the budget
+    /// (LRU by mtime — a loaded-and-rewritten slot is young again), and
+    /// opportunistically removes orphaned `.tmp` leftovers from crashed
+    /// writers. Reconciles `approx_bytes` with what the scan actually
+    /// found. Only called when the running estimate crosses the budget, so
+    /// under-budget stores never pay the directory scan. Every I/O failure
+    /// is skipped, not raised: GC is an optimization, never a correctness
+    /// requirement.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.max_bytes else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut total = 0u64;
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            match ext {
+                Some("teoc") => {
+                    let Ok(meta) = entry.metadata() else { continue };
+                    let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    total += meta.len();
+                    files.push((mtime, path, meta.len()));
+                }
+                Some("tmp") => {
+                    // A stale temp file from a crashed writer: partial
+                    // content, purge it. The age gate keeps the sweep from
+                    // racing a *live* concurrent store, whose temp file is
+                    // seconds old at most.
+                    let stale = entry
+                        .metadata()
+                        .ok()
+                        .and_then(|m| m.modified().ok())
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age > std::time::Duration::from_secs(60));
+                    if stale && std::fs::remove_file(&path).is_ok() {
+                        self.purged.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if total > budget {
+            // Oldest mtime first; path name breaks ties deterministically.
+            files.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            for (_, path, size) in files {
+                if total <= budget {
+                    break;
+                }
+                if std::fs::remove_file(&path).is_ok() {
+                    total = total.saturating_sub(size);
+                    self.gc_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Reconcile the running estimate with what the scan measured.
+        self.approx_bytes.store(total, Ordering::Relaxed);
     }
 
     /// Current counters.
@@ -116,6 +255,8 @@ impl DiskCache {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             store_errors: self.store_errors.load(Ordering::Relaxed),
+            gc_evictions: self.gc_evictions.load(Ordering::Relaxed),
+            purged: self.purged.load(Ordering::Relaxed),
         }
     }
 

@@ -36,7 +36,7 @@
 //! use tetris_topology::CouplingGraph;
 //! use tetris_core::TetrisConfig;
 //!
-//! let engine = Engine::new(EngineConfig { threads: 2, cache_capacity: 256, cache_dir: None });
+//! let engine = Engine::new(EngineConfig { threads: 2, cache_capacity: 256, ..Default::default() });
 //! let ham = Arc::new(Molecule::LiH.uccsd_hamiltonian(Encoding::JordanWigner));
 //! let graph = Arc::new(CouplingGraph::heavy_hex_65());
 //! let jobs: Vec<CompileJob> = [

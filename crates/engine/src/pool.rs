@@ -24,6 +24,9 @@ pub struct EngineConfig {
     /// Results directory for the persistent disk cache tier (`None` keeps
     /// the cache memory-only and the engine state process-local).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Byte budget for the disk tier (`None` = unbounded); ignored without
+    /// `cache_dir`. Maps to `--cache-max-bytes` on the CLI.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +40,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             cache_capacity: 1024,
             cache_dir: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -96,8 +100,12 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let threads = config.threads.max(1);
         let cache = Arc::new(match &config.cache_dir {
-            Some(dir) => ResultCache::with_disk(config.cache_capacity, dir)
-                .unwrap_or_else(|e| panic!("cannot open cache directory {}: {e}", dir.display())),
+            Some(dir) => {
+                ResultCache::with_disk_budgeted(config.cache_capacity, dir, config.cache_max_bytes)
+                    .unwrap_or_else(|e| {
+                        panic!("cannot open cache directory {}: {e}", dir.display())
+                    })
+            }
             None => ResultCache::new(config.cache_capacity),
         });
         let (tx, rx) = channel::<WorkItem>();
@@ -300,6 +308,7 @@ mod tests {
             threads: 4,
             cache_capacity: 64,
             cache_dir: None,
+            cache_max_bytes: None,
         });
         let results = engine.compile_batch(toy_jobs(12));
         assert_eq!(results.len(), 12);
@@ -315,6 +324,7 @@ mod tests {
             threads: 2,
             cache_capacity: 64,
             cache_dir: None,
+            cache_max_bytes: None,
         });
         let mut jobs = toy_jobs(2);
         jobs.extend(toy_jobs(2)); // same content again
@@ -333,6 +343,7 @@ mod tests {
             threads: 2,
             cache_capacity: 0,
             cache_dir: None,
+            cache_max_bytes: None,
         });
         let mut jobs = toy_jobs(1);
         jobs.extend(toy_jobs(1));
@@ -350,6 +361,7 @@ mod tests {
             threads: 2,
             cache_capacity: 8,
             cache_dir: None,
+            cache_max_bytes: None,
         });
         // 5 logical qubits on a 3-qubit device trips the compiler's width
         // assert — the classic bad-request shape a service must survive.
@@ -388,6 +400,7 @@ mod tests {
             threads: 3,
             cache_capacity: 8,
             cache_dir: None,
+            cache_max_bytes: None,
         });
         let _ = engine.compile_batch(toy_jobs(3));
         drop(engine); // must not hang or panic

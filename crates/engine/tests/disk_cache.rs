@@ -182,6 +182,7 @@ fn corrupt_directory_degrades_engine_to_recompiles() {
         threads: 2,
         cache_capacity: 16,
         cache_dir: Some(dir.clone()),
+        cache_max_bytes: None,
     })
     .compile_batch(jobs());
 
@@ -197,6 +198,7 @@ fn corrupt_directory_degrades_engine_to_recompiles() {
         threads: 2,
         cache_capacity: 16,
         cache_dir: Some(dir.clone()),
+        cache_max_bytes: None,
     });
     let second = engine.compile_batch(jobs());
     let stats = engine.cache_stats();
@@ -214,7 +216,104 @@ fn corrupt_directory_degrades_engine_to_recompiles() {
         threads: 2,
         cache_capacity: 16,
         cache_dir: Some(dir.clone()),
+        cache_max_bytes: None,
     });
     assert!(healed.compile_batch(jobs()).iter().all(|r| r.cached));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn byte_budget_evicts_lru_by_mtime() {
+    let dir = unique_dir("gc");
+    let one_file = encode_output(&golden_subject()).len() as u64;
+    // Room for roughly three entries: the fourth store must evict.
+    let disk = DiskCache::open_budgeted(&dir, Some(3 * one_file + one_file / 2)).expect("open");
+
+    for key in 1..=3u64 {
+        disk.store(key, &golden_subject());
+        // Distinct mtimes so LRU order is unambiguous on coarse clocks.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(disk.entries(), 3);
+    assert_eq!(disk.stats().gc_evictions, 0, "under budget: no GC");
+
+    disk.store(4, &golden_subject());
+    let stats = disk.stats();
+    assert!(stats.gc_evictions >= 1, "over budget: sweep must evict");
+    assert!(
+        disk.total_bytes() <= 3 * one_file + one_file / 2,
+        "directory exceeds its budget after the sweep"
+    );
+    // Oldest entry went first; the newest survived.
+    assert!(disk.load(1).is_none(), "LRU entry evicted");
+    assert!(disk.load(4).is_some(), "fresh entry survives");
+    let _ = std::fs::remove_dir_all(disk.dir());
+}
+
+#[test]
+fn budget_sweep_keeps_directory_bounded_under_churn() {
+    let dir = unique_dir("gc-churn");
+    let one_file = encode_output(&golden_subject()).len() as u64;
+    let budget = 2 * one_file + one_file / 2;
+    let disk = DiskCache::open_budgeted(&dir, Some(budget)).expect("open");
+    for key in 0..20u64 {
+        disk.store(key, &golden_subject());
+    }
+    assert!(
+        disk.total_bytes() <= budget,
+        "20 stores into a 2-entry budget must stay bounded, got {} bytes",
+        disk.total_bytes()
+    );
+    assert!(disk.entries() <= 2);
+    assert!(disk.stats().gc_evictions >= 18);
+    let _ = std::fs::remove_dir_all(disk.dir());
+}
+
+#[test]
+fn corrupt_files_are_purged_and_counted() {
+    let dir = unique_dir("gc-purge");
+    let disk = DiskCache::open_budgeted(&dir, Some(u64::MAX)).expect("open");
+    disk.store(11, &golden_subject());
+    std::fs::write(disk.path_of(11), b"TEOCgarbage").expect("corrupt");
+    assert!(disk.load(11).is_none(), "corrupt file must miss");
+    assert_eq!(disk.stats().purged, 1, "failed decode purges the file");
+    assert!(
+        !disk.path_of(11).exists(),
+        "corrupt file must be deleted, not retried forever"
+    );
+    // A rewrite heals the slot.
+    disk.store(11, &golden_subject());
+    assert!(disk.load(11).is_some());
+    let _ = std::fs::remove_dir_all(disk.dir());
+}
+
+#[test]
+fn engine_wires_cache_max_bytes_through() {
+    let dir = unique_dir("gc-engine");
+    // A budget far smaller than one real result: every store immediately
+    // evicts, so the directory never holds more than the newest file and
+    // the engine keeps answering from the memory tier.
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 64,
+        cache_dir: Some(dir.clone()),
+        cache_max_bytes: Some(1),
+    });
+    let graph = Arc::new(CouplingGraph::grid(4, 4));
+    let ham = Arc::new(maxcut_hamiltonian(&Graph::random_regular(8, 3, 5), "gc"));
+    let jobs: Vec<CompileJob> = (0..3)
+        .map(|_| {
+            CompileJob::new(
+                "gc",
+                Backend::Tetris(TetrisConfig::default()),
+                ham.clone(),
+                graph.clone(),
+            )
+        })
+        .collect();
+    let results = engine.compile_batch(jobs);
+    assert!(results.iter().all(|r| r.error.is_none()));
+    let stats = engine.cache_stats();
+    assert!(stats.disk_gc_evictions >= 1, "1-byte budget must evict");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -41,6 +41,7 @@ fn parallel_batch_matches_serial_compilation_bit_for_bit() {
         threads: 4,
         cache_capacity: 256,
         cache_dir: None,
+        cache_max_bytes: None,
     });
     let parallel = engine.compile_batch(jobs);
 
@@ -63,6 +64,7 @@ fn repeated_batch_is_served_entirely_from_cache() {
         threads: 4,
         cache_capacity: 256,
         cache_dir: None,
+        cache_max_bytes: None,
     });
     let first = engine.compile_batch(quick_suite());
     let misses_after_first = engine.cache_stats().misses;
@@ -93,11 +95,13 @@ fn single_thread_and_many_thread_engines_agree() {
         threads: 1,
         cache_capacity: 64,
         cache_dir: None,
+        cache_max_bytes: None,
     });
     let many = Engine::new(EngineConfig {
         threads: 8,
         cache_capacity: 64,
         cache_dir: None,
+        cache_max_bytes: None,
     });
     let a = one.compile_batch(quick_suite());
     let b = many.compile_batch(quick_suite());

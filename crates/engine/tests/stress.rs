@@ -57,6 +57,7 @@ fn concurrent_batches_match_serial_and_lose_no_cache_updates() {
         threads: 4,
         cache_capacity: 256,
         cache_dir: None,
+        cache_max_bytes: None,
     }));
 
     // Each client submits batches that interleave fresh keys, repeats of
@@ -128,6 +129,7 @@ fn duplicate_heavy_batches_coalesce_under_concurrency() {
         threads: 4,
         cache_capacity: 64,
         cache_dir: None,
+        cache_max_bytes: None,
     }));
 
     // One batch of 24 jobs with only 3 distinct contents, submitted by 4
@@ -184,6 +186,7 @@ fn disk_tier_survives_concurrent_writers_and_readers() {
                     threads: 2,
                     cache_capacity: 64,
                     cache_dir: Some(dir),
+                    cache_max_bytes: None,
                 });
                 let jobs: Vec<CompileJob> = (0..6).map(|s| job(s, &graph)).collect();
                 let results = engine.compile_batch(jobs);
@@ -208,6 +211,7 @@ fn disk_tier_survives_concurrent_writers_and_readers() {
         threads: 2,
         cache_capacity: 64,
         cache_dir: Some(dir.clone()),
+        cache_max_bytes: None,
     });
     let jobs: Vec<CompileJob> = (0..6).map(|s| job(s, &graph)).collect();
     let results = engine.compile_batch(jobs);

@@ -32,6 +32,13 @@ pub struct TetrisBlock {
     ///
     /// [`analyze`]: TetrisBlock::analyze
     pub leaf_mask: QubitMask,
+    /// `root_set` as a packed bitset (kept in sync by [`analyze`]); the
+    /// operand of the clusterer's `findCenter` scan and the scheduler's
+    /// root-gather cost. The `Vec` forms above are the public API edge;
+    /// the compiler's inner loops read the masks.
+    ///
+    /// [`analyze`]: TetrisBlock::analyze
+    pub root_mask: QubitMask,
 }
 
 impl TetrisBlock {
@@ -60,7 +67,7 @@ impl TetrisBlock {
             .map(|(w, &d)| (first.x_words()[w] | first.z_words()[w]) & !d)
             .collect();
         let mut leaf_mask = QubitMask::from_words(n, leaf_words);
-        let root_mask = QubitMask::from_words(n, diff);
+        let mut root_mask = QubitMask::from_words(n, diff);
         let mut root_set = root_mask.to_vec();
         let mut leaf_set = leaf_mask.to_vec();
         if root_set.is_empty() {
@@ -68,6 +75,7 @@ impl TetrisBlock {
             // somewhere — promote one common qubit to the root set.
             let promoted = leaf_set.remove(0);
             leaf_mask.remove(promoted);
+            root_mask.insert(promoted);
             root_set.push(promoted);
         }
         TetrisBlock {
@@ -75,6 +83,7 @@ impl TetrisBlock {
             root_set,
             leaf_set,
             leaf_mask,
+            root_mask,
         }
     }
 
@@ -94,7 +103,7 @@ impl TetrisBlock {
 
     /// The paper's *active length* (number of non-identity operators).
     pub fn active_length(&self) -> usize {
-        self.root_set.len() + self.leaf_set.len()
+        self.root_mask.count() + self.leaf_mask.count()
     }
 
     /// Leaf-section entries as `(qubit, op)` pairs.

@@ -5,6 +5,15 @@
 //! (qubit `q` lives at bit `q % 64` of word `q / 64`). Block-level analyses
 //! — union support, leaf/root classification, the paper's Eq. 1 similarity —
 //! reduce to OR/AND/popcount over these words instead of per-qubit scans.
+//!
+//! Since the bitplane-native refactor, the mask is the *single* qubit-set
+//! type of the compilation stack: the clusterer's member/frontier sets, the
+//! synthesis placer's `unplaced`/`placed` tracking, the scheduler's
+//! remaining-block set, the SABRE router's executed/front bookkeeping and
+//! the baselines' shared set logic all operate on it natively, with
+//! `Vec<usize>` kept only at public API edges. The inner loops below are
+//! widened to `u128` chunks (two words per iteration), so a 256-qubit set
+//! operation is two chunk ops instead of 256 per-qubit probes.
 
 use crate::string::PauliString;
 use std::fmt;
@@ -32,10 +41,31 @@ where
     })
 }
 
+/// Iterator over a word slice as `u128` chunks (words `2i` and `2i+1`
+/// fused little-endian; a lone tail word is zero-extended). The widening
+/// primitive behind every popcount/AND/OR/XOR inner loop of this module
+/// and the [`PauliString`] kernels.
+#[inline]
+pub(crate) fn wide(words: &[u64]) -> impl Iterator<Item = u128> + '_ {
+    words
+        .chunks(2)
+        .map(|c| c[0] as u128 | ((c.get(1).copied().unwrap_or(0) as u128) << 64))
+}
+
+/// Popcount of a word stream, `u128`-chunked.
+#[inline]
+pub(crate) fn popcount(words: &[u64]) -> usize {
+    wide(words).map(|w| w.count_ones() as usize).sum()
+}
+
 /// A set of qubit indices on an `n`-qubit register, packed 64 per word.
 ///
 /// Bits at positions ≥ `n` are always zero, so equality, hashing and counts
 /// never see garbage in the tail word.
+///
+/// The register is whatever index space the caller works in: logical
+/// qubits, physical device nodes, block indices in a schedule, gate
+/// indices in a router worklist — the set algebra is the same.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct QubitMask {
     n: usize,
@@ -49,6 +79,29 @@ impl QubitMask {
             n,
             words: vec![0; n.div_ceil(64)],
         }
+    }
+
+    /// The full set `{0, …, n−1}`.
+    pub fn full(n: usize) -> Self {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            if let Some(tail) = words.last_mut() {
+                *tail = (1u64 << (n % 64)) - 1;
+            }
+        }
+        QubitMask { n, words }
+    }
+
+    /// Builds a mask from member indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn from_indices(n: usize, indices: &[usize]) -> Self {
+        let mut m = QubitMask::empty(n);
+        for &q in indices {
+            m.insert(q);
+        }
+        m
     }
 
     /// Builds a mask from raw words (callers guarantee bits ≥ `n` are zero).
@@ -112,14 +165,56 @@ impl QubitMask {
         (self.words[q / 64] >> (q % 64)) & 1 != 0
     }
 
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Number of qubits in the set.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        popcount(&self.words)
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The smallest member, or `None` when empty (a trailing-zeros scan —
+    /// the packed equivalent of `vec[0]` on a sorted worklist).
+    pub fn first(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|w| w * 64 + self.words[w].trailing_zeros() as usize)
+    }
+
+    /// The smallest member `≥ q`, or `None` — the next-set-bit cursor for
+    /// resumable scans without restarting from word 0.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    pub fn next_at_or_after(&self, q: usize) -> Option<usize> {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        let (w0, b0) = (q / 64, q % 64);
+        let masked = self.words[w0] & (u64::MAX << b0);
+        if masked != 0 {
+            return Some(w0 * 64 + masked.trailing_zeros() as usize);
+        }
+        self.words[w0 + 1..]
+            .iter()
+            .position(|&w| w != 0)
+            .map(|off| {
+                let w = w0 + 1 + off;
+                w * 64 + self.words[w].trailing_zeros() as usize
+            })
+    }
+
+    /// Removes and returns the smallest member, or `None` when empty.
+    pub fn pop_first(&mut self) -> Option<usize> {
+        let q = self.first()?;
+        self.remove(q);
+        Some(q)
     }
 
     /// In-place union.
@@ -171,16 +266,27 @@ impl QubitMask {
         }
     }
 
-    /// Size of the intersection, without materializing it.
+    /// In-place symmetric difference.
+    ///
+    /// # Panics
+    /// Panics if the register widths differ.
+    pub fn xor_with(&mut self, other: &QubitMask) {
+        assert_eq!(self.n, other.n, "qubit mask width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Size of the intersection, without materializing it (`u128`-chunked
+    /// AND + popcount).
     ///
     /// # Panics
     /// Panics if the register widths differ.
     pub fn intersection_count(&self, other: &QubitMask) -> usize {
         assert_eq!(self.n, other.n, "qubit mask width mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(&a, &b)| (a & b).count_ones() as usize)
+        wide(&self.words)
+            .zip(wide(&other.words))
+            .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
     }
 
@@ -190,10 +296,25 @@ impl QubitMask {
     /// Panics if the register widths differ.
     pub fn intersects(&self, other: &QubitMask) -> bool {
         assert_eq!(self.n, other.n, "qubit mask width mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(&a, &b)| a & b != 0)
+        wide(&self.words)
+            .zip(wide(&other.words))
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether the two sets share no member.
+    pub fn is_disjoint_from(&self, other: &QubitMask) -> bool {
+        !self.intersects(other)
+    }
+
+    /// Whether every member of `self` is in `other`.
+    ///
+    /// # Panics
+    /// Panics if the register widths differ.
+    pub fn is_subset_of(&self, other: &QubitMask) -> bool {
+        assert_eq!(self.n, other.n, "qubit mask width mismatch");
+        wide(&self.words)
+            .zip(wide(&other.words))
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterator over the member qubits, ascending (trailing-zeros scan).
@@ -201,7 +322,8 @@ impl QubitMask {
         iter_set_bits(self.words.iter().copied())
     }
 
-    /// The member qubits as a sorted `Vec`.
+    /// The member qubits as a sorted `Vec` — the public-API-edge escape
+    /// hatch; inner loops should stay on the mask.
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
     }
@@ -262,5 +384,46 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.count(), 0);
         assert_eq!(m.to_string(), "{}");
+    }
+
+    #[test]
+    fn full_masks_tail_word() {
+        for n in [1, 5, 63, 64, 65, 128, 130] {
+            let m = QubitMask::full(n);
+            assert_eq!(m.count(), n, "full({n})");
+            assert_eq!(m.to_vec(), (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn cursors_and_pop() {
+        let mut m = QubitMask::from_indices(130, &[3, 63, 64, 129]);
+        assert_eq!(m.first(), Some(3));
+        assert_eq!(m.next_at_or_after(3), Some(3));
+        assert_eq!(m.next_at_or_after(4), Some(63));
+        assert_eq!(m.next_at_or_after(64), Some(64));
+        assert_eq!(m.next_at_or_after(65), Some(129));
+        assert_eq!(m.pop_first(), Some(3));
+        assert_eq!(m.pop_first(), Some(63));
+        assert_eq!(m.pop_first(), Some(64));
+        assert_eq!(m.pop_first(), Some(129));
+        assert_eq!(m.pop_first(), None);
+        assert_eq!(m.first(), None);
+    }
+
+    #[test]
+    fn subset_disjoint_xor() {
+        let a = QubitMask::from_indices(130, &[1, 64, 100]);
+        let b = QubitMask::from_indices(130, &[1, 64, 100, 129]);
+        let c = QubitMask::from_indices(130, &[2, 65]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_disjoint_from(&c));
+        assert!(!a.is_disjoint_from(&b));
+        let mut x = a.clone();
+        x.xor_with(&b);
+        assert_eq!(x.to_vec(), vec![129]);
+        x.clear();
+        assert!(x.is_empty());
     }
 }

@@ -140,12 +140,12 @@ impl PauliString {
         })
     }
 
-    /// Number of non-identity sites — the paper's *active length*.
+    /// Number of non-identity sites — the paper's *active length*
+    /// (`u128`-chunked OR + popcount).
     pub fn weight(&self) -> usize {
-        self.x
-            .iter()
-            .zip(&self.z)
-            .map(|(&x, &z)| (x | z).count_ones() as usize)
+        crate::mask::wide(&self.x)
+            .zip(crate::mask::wide(&self.z))
+            .map(|(x, z)| (x | z).count_ones() as usize)
             .sum()
     }
 
@@ -177,18 +177,19 @@ impl PauliString {
     /// Panics if the strings act on different qubit counts.
     pub fn mul(&self, other: &PauliString) -> (Phase, PauliString) {
         assert_eq!(self.n, other.n, "pauli string length mismatch");
-        let mut x = Vec::with_capacity(self.x.len());
-        let mut z = Vec::with_capacity(self.z.len());
+        // Result bitplanes: one XOR per word.
+        let x: Vec<u64> = self.x.iter().zip(&other.x).map(|(&a, &b)| a ^ b).collect();
+        let z: Vec<u64> = self.z.iter().zip(&other.z).map(|(&a, &b)| a ^ b).collect();
+        // Phase exponent: u128-chunked site-mask popcounts.
         let mut exponent = 0i64;
-        for w in 0..self.x.len() {
-            let (x1, z1) = (self.x[w], self.z[w]);
-            let (x2, z2) = (other.x[w], other.z[w]);
+        for ((x1, z1), (x2, z2)) in crate::mask::wide(&self.x)
+            .zip(crate::mask::wide(&self.z))
+            .zip(crate::mask::wide(&other.x).zip(crate::mask::wide(&other.z)))
+        {
             // +i sites: (X,Y) (Y,Z) (Z,X); −i sites: the transposed pairs.
             let plus = (x1 & !z1 & x2 & z2) | (x1 & z1 & !x2 & z2) | (!x1 & z1 & x2 & !z2);
             let minus = (x1 & z1 & x2 & !z2) | (!x1 & z1 & x2 & z2) | (x1 & !z1 & !x2 & z2);
             exponent += plus.count_ones() as i64 - minus.count_ones() as i64;
-            x.push(x1 ^ x2);
-            z.push(z1 ^ z2);
         }
         (
             Phase::from_exponent(exponent),
@@ -214,12 +215,11 @@ impl PauliString {
     /// Panics if the strings act on different qubit counts.
     pub fn anticommuting_sites(&self, other: &PauliString) -> usize {
         assert_eq!(self.n, other.n, "pauli string length mismatch");
-        let mut count = 0usize;
-        for w in 0..self.x.len() {
-            let anti = (self.x[w] & other.z[w]) ^ (self.z[w] & other.x[w]);
-            count += anti.count_ones() as usize;
-        }
-        count
+        crate::mask::wide(&self.x)
+            .zip(crate::mask::wide(&self.z))
+            .zip(crate::mask::wide(&other.x).zip(crate::mask::wide(&other.z)))
+            .map(|((x1, z1), (x2, z2))| ((x1 & z2) ^ (z1 & x2)).count_ones() as usize)
+            .sum()
     }
 
     /// Number of sites where both strings carry the same non-identity
@@ -229,13 +229,15 @@ impl PauliString {
     /// Panics if the strings act on different qubit counts.
     pub fn common_weight(&self, other: &PauliString) -> usize {
         assert_eq!(self.n, other.n, "pauli string length mismatch");
-        let mut count = 0usize;
-        for w in 0..self.x.len() {
-            let same = !((self.x[w] ^ other.x[w]) | (self.z[w] ^ other.z[w]));
-            let active = self.x[w] | self.z[w];
-            count += (same & active).count_ones() as usize;
-        }
-        count
+        crate::mask::wide(&self.x)
+            .zip(crate::mask::wide(&self.z))
+            .zip(crate::mask::wide(&other.x).zip(crate::mask::wide(&other.z)))
+            .map(|((x1, z1), (x2, z2))| {
+                let same = !((x1 ^ x2) | (z1 ^ z2));
+                let active = x1 | z1;
+                (same & active).count_ones() as usize
+            })
+            .sum()
     }
 
     /// Whether the supports of the two strings intersect (some qubit is
@@ -245,7 +247,10 @@ impl PauliString {
     /// Panics if the strings act on different qubit counts.
     pub fn supports_overlap(&self, other: &PauliString) -> bool {
         assert_eq!(self.n, other.n, "pauli string length mismatch");
-        (0..self.x.len()).any(|w| (self.x[w] | self.z[w]) & (other.x[w] | other.z[w]) != 0)
+        crate::mask::wide(&self.x)
+            .zip(crate::mask::wide(&self.z))
+            .zip(crate::mask::wide(&other.x).zip(crate::mask::wide(&other.z)))
+            .any(|((x1, z1), (x2, z2))| (x1 | z1) & (x2 | z2) != 0)
     }
 
     /// Extends the string with identities up to `n` qubits (no-op if already

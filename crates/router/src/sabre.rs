@@ -1,6 +1,16 @@
 //! The SABRE-style routing algorithm.
+//!
+//! Bookkeeping is bitplane-native: the executed-gate set, the front-layer
+//! membership test and the ready-qubit dedup all run on packed
+//! [`QubitMask`]s, and the extended (lookahead) window is held in a decay
+//! cache that is only rebuilt when a gate actually executes. Two
+//! structures deliberately stay `Vec`s: the front layer itself (its
+//! insertion order fixes the f64 summation order of the score, which must
+//! stay bit-identical) and the ready-check worklist (its order is the
+//! drain order of executable gates).
 
 use tetris_circuit::{Circuit, Gate};
+use tetris_pauli::mask::QubitMask;
 use tetris_topology::{CouplingGraph, Layout};
 
 /// Router tuning knobs.
@@ -71,15 +81,27 @@ pub fn route(
 
     let mut layout = initial;
     let mut out = Circuit::new(graph.n_qubits());
-    let mut executed = vec![false; gates.len()];
+    // Executed-gate set, packed over gate indices.
+    let mut executed = QubitMask::empty(gates.len().max(1));
     let mut n_executed = 0usize;
     let mut swap_count = 0usize;
+    // The front layer: an order-bearing Vec (scores sum over it in f64, so
+    // insertion order is semantic) with a packed membership set replacing
+    // the linear `contains`/`retain` scans.
     let mut front: Vec<usize> = Vec::new();
+    let mut in_front = QubitMask::empty(gates.len().max(1));
     // Pointer for the extended (lookahead) window over 2q gates.
     let two_q: Vec<usize> = (0..gates.len())
         .filter(|&i| gates[i].is_two_qubit())
         .collect();
     let mut ext_ptr = 0usize;
+    // Decay caches for phase 2: the extended window changes only when a
+    // gate executes, the front-pair list only when the front mutates.
+    // Between consecutive SWAP insertions both are served from cache.
+    let mut ext_cache: Vec<(usize, usize)> = Vec::new();
+    let mut ext_dirty = true;
+    let mut front_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut front_dirty = true;
 
     // Anti-oscillation state.
     let mut last_swap: Option<(usize, usize)> = None;
@@ -88,15 +110,19 @@ pub fn route(
 
     // Seed the front with initially-ready gates.
     let mut check: Vec<usize> = (0..n_log).collect();
+    // Scratch for deduplicating the next check worklist (packed over
+    // logical qubits, cleared per round).
+    let mut in_next_check = QubitMask::empty(n_log.max(1));
     loop {
         // Phase 1: drain every ready & executable gate.
         let mut progressed = true;
         while progressed {
             progressed = false;
             let mut next_check = Vec::new();
+            in_next_check.clear();
             for &q in &check {
                 while let Some(&g) = queues[q].get(cursor[q]) {
-                    if executed[g] || !is_ready(g, gates, &queues, &cursor) {
+                    if executed.contains(g) || !is_ready(g, gates, &queues, &cursor) {
                         break;
                     }
                     let gate = gates[g];
@@ -108,8 +134,10 @@ pub fn route(
                         _ => true,
                     };
                     if !executable {
-                        if !front.contains(&g) {
+                        if !in_front.contains(g) {
                             front.push(g);
+                            in_front.insert(g);
+                            front_dirty = true;
                         }
                         break;
                     }
@@ -120,13 +148,19 @@ pub fn route(
                     } else {
                         out.push(gate.map_qubits(phys));
                     }
-                    executed[g] = true;
+                    executed.insert(g);
+                    ext_dirty = true;
                     n_executed += 1;
                     since_progress = 0;
-                    front.retain(|&f| f != g);
+                    if in_front.contains(g) {
+                        front.retain(|&f| f != g);
+                        in_front.remove(g);
+                        front_dirty = true;
+                    }
                     for oq in gate.qubits().iter() {
                         cursor[oq] += 1;
-                        if !next_check.contains(&oq) {
+                        if !in_next_check.contains(oq) {
+                            in_next_check.insert(oq);
                             next_check.push(oq);
                         }
                     }
@@ -143,18 +177,29 @@ pub fn route(
             break;
         }
         // Refresh the front (ready but blocked 2q gates).
-        front.retain(|&g| !executed[g]);
+        if front.iter().any(|&g| executed.contains(g)) {
+            front.retain(|&g| {
+                let keep = !executed.contains(g);
+                if !keep {
+                    in_front.remove(g);
+                }
+                keep
+            });
+            front_dirty = true;
+        }
         if front.is_empty() {
             // All remaining gates are waiting on predecessors that are in
             // the front; rebuild by scanning cursors.
             for q in 0..n_log {
                 if let Some(&g) = queues[q].get(cursor[q]) {
-                    if !executed[g]
+                    if !executed.contains(g)
                         && gates[g].is_two_qubit()
                         && is_ready(g, gates, &queues, &cursor)
-                        && !front.contains(&g)
+                        && !in_front.contains(g)
                     {
                         front.push(g);
+                        in_front.insert(g);
+                        front_dirty = true;
                     }
                 }
             }
@@ -183,17 +228,23 @@ pub fn route(
         }
 
         // Phase 2: choose the best SWAP candidate.
-        while ext_ptr < two_q.len() && executed[two_q[ext_ptr]] {
+        while ext_ptr < two_q.len() && executed.contains(two_q[ext_ptr]) {
             ext_ptr += 1;
         }
-        let ext: Vec<(usize, usize)> = two_q[ext_ptr..]
-            .iter()
-            .filter(|&&g| !executed[g])
-            .take(config.extended_window)
-            .map(|&g| two_qubits(&gates[g]))
-            .collect();
-        let front_pairs: Vec<(usize, usize)> =
-            front.iter().map(|&g| two_qubits(&gates[g])).collect();
+        if ext_dirty {
+            ext_cache = two_q[ext_ptr..]
+                .iter()
+                .filter(|&&g| !executed.contains(g))
+                .take(config.extended_window)
+                .map(|&g| two_qubits(&gates[g]))
+                .collect();
+            ext_dirty = false;
+        }
+        let ext = &ext_cache;
+        if front_dirty {
+            front_pairs = front.iter().map(|&g| two_qubits(&gates[g])).collect();
+            front_dirty = false;
+        }
 
         let mut candidates: Vec<(usize, usize)> = Vec::new();
         for &(a, b) in &front_pairs {
@@ -248,10 +299,14 @@ pub fn route(
         layout.swap_phys(best.0, best.1);
         swap_count += 1;
         last_swap = Some(best);
-        // Re-check the qubits of the front after the swap.
-        check = front_pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
-        check.sort_unstable();
-        check.dedup();
+        // Re-check the qubits of the front after the swap (mask-dedup'd;
+        // iteration is ascending, matching the old sort+dedup).
+        in_next_check.clear();
+        for &(a, b) in &front_pairs {
+            in_next_check.insert(a);
+            in_next_check.insert(b);
+        }
+        check = in_next_check.to_vec();
     }
 
     RoutedCircuit {

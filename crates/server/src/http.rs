@@ -17,7 +17,15 @@
 //!   full result record (stats, cache provenance, a `stats_digest` for
 //!   bit-exactness checks, and the gate list length; `?qasm=1` embeds the
 //!   OpenQASM text).
+//! * `DELETE /job/<id>` — drops the record; a deleted pending job is
+//!   compiled (results are cached) but never re-enters the table.
 //! * `GET /stats` — engine sizing, per-tier cache counters and job counts.
+//!
+//! Completed jobs are evicted after [`ServerConfig::job_ttl`]: every
+//! table access sweeps expired `Done` records, so a long-lived server's
+//! job table stays bounded by the traffic of one TTL window instead of
+//! growing forever (pending jobs are never swept — the worker thread
+//! still owes them a result).
 
 use crate::json::{escape, parse, Value};
 use crate::registry::Interner;
@@ -26,7 +34,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tetris_engine::{CompileJob, Engine, EngineConfig, JobResult};
 
 /// Request bodies above this size are rejected with `413` — compile
@@ -41,6 +49,22 @@ const MAX_HEAD: usize = 16 << 10;
 /// read/write aborted instead of parking a thread forever.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Server-side policy knobs (everything not owned by the engine).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// How long a completed job stays queryable before eviction. Pending
+    /// jobs are exempt.
+    pub job_ttl: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            job_ttl: Duration::from_secs(15 * 60),
+        }
+    }
+}
+
 /// One job's lifecycle, as visible through `GET /job/<id>`.
 enum JobRecord {
     /// Submitted, not yet finished.
@@ -49,7 +73,12 @@ enum JobRecord {
         name: String,
     },
     /// Finished (successfully or with a per-job backend error).
-    Done(Box<JobResult>),
+    Done {
+        /// The result record.
+        result: Box<JobResult>,
+        /// Completion time — the TTL clock.
+        done_at: Instant,
+    },
 }
 
 /// State shared by every connection: the engine and the job table.
@@ -57,20 +86,41 @@ pub struct AppState {
     engine: Engine,
     jobs: Mutex<HashMap<u64, JobRecord>>,
     next_id: AtomicU64,
+    config: ServerConfig,
+    /// Completed records dropped by the TTL sweep (not client `DELETE`s).
+    expired_total: AtomicU64,
 }
 
 impl AppState {
-    fn new(engine: Engine) -> Self {
+    fn new(engine: Engine, config: ServerConfig) -> Self {
         AppState {
             engine,
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            config,
+            expired_total: AtomicU64::new(0),
         }
     }
 
     /// The engine (for tests and the CLI to inspect counters).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Drops every `Done` record older than the TTL. Called on each table
+    /// access, so the table is bounded without a background thread: no
+    /// traffic means no growth, and any request pays one O(table) sweep.
+    fn sweep_expired(&self, table: &mut HashMap<u64, JobRecord>) {
+        let now = Instant::now();
+        let before = table.len();
+        table.retain(|_, record| match record {
+            JobRecord::Pending { .. } => true,
+            JobRecord::Done { done_at, .. } => now.duration_since(*done_at) < self.config.job_ttl,
+        });
+        let dropped = (before - table.len()) as u64;
+        if dropped > 0 {
+            self.expired_total.fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 }
 
@@ -83,15 +133,24 @@ pub struct CompileServer {
 
 impl CompileServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
-    /// engine. The server does not accept connections until
-    /// [`serve_forever`](CompileServer::serve_forever) or
+    /// engine with the default [`ServerConfig`]. The server does not accept
+    /// connections until [`serve_forever`](CompileServer::serve_forever) or
     /// [`serve_background`](CompileServer::serve_background) is called.
     pub fn bind(addr: &str, engine: EngineConfig) -> std::io::Result<CompileServer> {
+        CompileServer::bind_with(addr, engine, ServerConfig::default())
+    }
+
+    /// [`bind`](CompileServer::bind) with explicit server policy (job TTL).
+    pub fn bind_with(
+        addr: &str,
+        engine: EngineConfig,
+        config: ServerConfig,
+    ) -> std::io::Result<CompileServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(CompileServer {
             listener,
-            state: Arc::new(AppState::new(Engine::new(engine))),
+            state: Arc::new(AppState::new(Engine::new(engine), config)),
             addr,
         })
     }
@@ -260,7 +319,8 @@ fn route(request: &Request, state: &Arc<AppState>) -> (u16, String) {
         path => match path.strip_prefix("/job/") {
             Some(id) => match method {
                 "GET" => get_job(state, id, &request.query),
-                _ => (405, error_body("use GET /job/<id>")),
+                "DELETE" => delete_job(state, id),
+                _ => (405, error_body("use GET or DELETE /job/<id>")),
             },
             None => (404, error_body("no such route")),
         },
@@ -327,6 +387,7 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
     let ids: Vec<u64> = (0..jobs.len() as u64).map(|k| first_id + k).collect();
     {
         let mut table = state.jobs.lock().expect("job table lock");
+        state.sweep_expired(&mut table);
         for (id, job) in ids.iter().zip(&jobs) {
             table.insert(
                 *id,
@@ -341,9 +402,18 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
     let worker_ids = ids.clone();
     std::thread::spawn(move || {
         let results = worker_state.engine.compile_batch(jobs);
+        let done_at = Instant::now();
         let mut table = worker_state.jobs.lock().expect("job table lock");
         for (id, result) in worker_ids.into_iter().zip(results) {
-            table.insert(id, JobRecord::Done(Box::new(result)));
+            // Only fill slots that still exist: a `DELETE`d pending job
+            // must not be resurrected into the table (its result still
+            // lands in the engine cache).
+            if let Some(record) = table.get_mut(&id) {
+                *record = JobRecord::Done {
+                    result: Box::new(result),
+                    done_at,
+                };
+            }
         }
     });
 
@@ -360,7 +430,8 @@ fn get_job(state: &AppState, id: &str, query: &str) -> (u16, String) {
     // Copy the record out (a JobResult clone is an Arc bump plus a few
     // strings) so QASM serialization never runs under the table lock.
     let record = {
-        let table = state.jobs.lock().expect("job table lock");
+        let mut table = state.jobs.lock().expect("job table lock");
+        state.sweep_expired(&mut table);
         match table.get(&id) {
             None => return (404, error_body(&format!("no job {id}"))),
             Some(JobRecord::Pending { name }) => {
@@ -372,10 +443,31 @@ fn get_job(state: &AppState, id: &str, query: &str) -> (u16, String) {
                     ),
                 )
             }
-            Some(JobRecord::Done(r)) => (**r).clone(),
+            Some(JobRecord::Done { result, .. }) => (**result).clone(),
         }
     };
     (200, job_body(id, &record, with_qasm))
+}
+
+fn delete_job(state: &AppState, id: &str) -> (u16, String) {
+    let Ok(id) = id.parse::<u64>() else {
+        return (400, error_body("job id must be an integer"));
+    };
+    let mut table = state.jobs.lock().expect("job table lock");
+    state.sweep_expired(&mut table);
+    match table.remove(&id) {
+        None => (404, error_body(&format!("no job {id}"))),
+        Some(record) => {
+            let was = match record {
+                JobRecord::Pending { .. } => "pending",
+                JobRecord::Done { .. } => "done",
+            };
+            (
+                200,
+                format!("{{ \"deleted\": {id}, \"was\": \"{was}\" }}\n"),
+            )
+        }
+    }
 }
 
 fn job_body(id: u64, r: &JobResult, with_qasm: bool) -> String {
@@ -414,18 +506,21 @@ fn job_body(id: u64, r: &JobResult, with_qasm: bool) -> String {
 
 fn stats_body(state: &AppState) -> String {
     let c = state.engine.cache_stats();
-    let table = state.jobs.lock().expect("job table lock");
+    let mut table = state.jobs.lock().expect("job table lock");
+    state.sweep_expired(&mut table);
     let pending = table
         .values()
         .filter(|r| matches!(r, JobRecord::Pending { .. }))
         .count();
     format!(
         "{{ \"threads\": {}, \"jobs_total\": {}, \"jobs_pending\": {pending}, \
+         \"jobs_expired\": {}, \
          \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
          \"disk_hits\": {}, \"disk_misses\": {}, \"disk_stores\": {}, \
          \"disk_store_errors\": {}, \"hit_ratio\": {:.4}, \"disk_hit_ratio\": {:.4} }} }}\n",
         state.engine.threads(),
         table.len(),
+        state.expired_total.load(Ordering::Relaxed),
         c.hits,
         c.misses,
         c.evictions,

@@ -34,4 +34,4 @@ pub mod http;
 pub mod json;
 pub mod registry;
 
-pub use http::{AppState, CompileServer};
+pub use http::{AppState, CompileServer, ServerConfig};

@@ -10,7 +10,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tetris_engine::{CompileJob, Engine, EngineConfig};
-use tetris_server::{registry, CompileServer};
+use tetris_server::{registry, CompileServer, ServerConfig};
 
 /// Sends one HTTP/1.1 request and returns `(status, body)`.
 fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
@@ -69,6 +69,7 @@ fn start_server() -> String {
             threads: 2,
             cache_capacity: 64,
             cache_dir: None,
+            cache_max_bytes: None,
         },
     )
     .expect("bind ephemeral port");
@@ -101,6 +102,7 @@ fn batch_round_trips_and_matches_direct_compilation() {
         threads: 1,
         cache_capacity: 16,
         cache_dir: None,
+        cache_max_bytes: None,
     });
     let ham = Arc::new(registry::workload("REG3-12-s7").expect("workload"));
     let graph = Arc::new(registry::device("grid-4x4").expect("device"));
@@ -219,4 +221,86 @@ fn bad_requests_are_rejected_not_fatal() {
     assert_eq!(status, 200);
     let done = poll_done(&addr, 1, Duration::from_secs(120));
     assert_eq!(field(&done, "compiler"), Some("MaxCancel"));
+}
+
+/// A server whose completed jobs expire after `ttl`.
+fn start_server_with_ttl(ttl: Duration) -> String {
+    let server = CompileServer::bind_with(
+        "127.0.0.1:0",
+        EngineConfig {
+            threads: 2,
+            cache_capacity: 64,
+            cache_dir: None,
+            cache_max_bytes: None,
+        },
+        ServerConfig { job_ttl: ttl },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    server.serve_background();
+    addr
+}
+
+#[test]
+fn job_table_stays_bounded_with_ttl_and_delete() {
+    // The TTL must comfortably outlive poll_done's 20 ms poll cadence plus
+    // CI scheduler jitter — poll_done hard-asserts 200, so a record that
+    // expires mid-poll would read as a spurious failure.
+    let ttl = Duration::from_secs(1);
+    let addr = start_server_with_ttl(ttl);
+    let batch =
+        r#"{ "jobs": [{"workload": "REG3-8-s1", "backend": "maxcancel", "device": "ring-9"}] }"#;
+
+    // Several waves of traffic, each outliving the previous wave's TTL: a
+    // long-lived server must not accumulate one record per job ever
+    // submitted.
+    let waves = 3;
+    for wave in 0..waves {
+        let (status, response) = request(&addr, "POST", "/batch", Some(batch));
+        assert_eq!(status, 200, "{response}");
+        poll_done(&addr, wave + 1, Duration::from_secs(120));
+        std::thread::sleep(ttl + Duration::from_millis(100));
+    }
+    // Every wave is past its TTL; the next access sweeps them all.
+    let (_, stats) = request(&addr, "GET", "/stats", None);
+    assert_eq!(
+        field(&stats, "jobs_total"),
+        Some("0"),
+        "table must be empty after all TTLs elapsed: {stats}"
+    );
+    let expired: u64 = field(&stats, "jobs_expired")
+        .expect("expired counter")
+        .parse()
+        .expect("numeric");
+    assert_eq!(expired, waves, "every completed job expired exactly once");
+    // Expired ids are gone for good.
+    assert_eq!(request(&addr, "GET", "/job/1", None).0, 404);
+
+    // Explicit DELETE: done jobs disappear immediately…
+    let (status, _) = request(&addr, "POST", "/batch", Some(batch));
+    assert_eq!(status, 200);
+    let id = waves + 1;
+    poll_done(&addr, id, Duration::from_secs(120));
+    let (status, body) = request(&addr, "DELETE", &format!("/job/{id}"), None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"deleted\""), "{body}");
+    assert_eq!(request(&addr, "GET", &format!("/job/{id}"), None).0, 404);
+    // …and a double delete is a clean 404.
+    assert_eq!(request(&addr, "DELETE", &format!("/job/{id}"), None).0, 404);
+
+    // Deleting a job while (possibly still) pending must not let the
+    // worker resurrect the record when it finishes.
+    let (status, _) = request(&addr, "POST", "/batch", Some(batch));
+    assert_eq!(status, 200);
+    let id = waves + 2;
+    let (status, _) = request(&addr, "DELETE", &format!("/job/{id}"), None);
+    assert_eq!(status, 200);
+    // Give the worker time to finish the batch (the result lands in the
+    // engine cache, not the table).
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        request(&addr, "GET", &format!("/job/{id}"), None).0,
+        404,
+        "deleted pending job must not reappear"
+    );
 }

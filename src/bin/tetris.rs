@@ -25,8 +25,9 @@ fn usage() -> ExitCode {
   tetris qaoa    [--nodes N] [--degree D | --edges M] [--seed S] [--qasm FILE]
   tetris compare [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
   tetris bench-suite [--quick] [--threads N] [--passes P] [--backend heavy-hex|sycamore]
-                     [--cache-dir DIR] [--out FILE]
+                     [--cache-dir DIR] [--cache-max-bytes B] [--out FILE]
   tetris serve   [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--cache-capacity N]
+                 [--cache-max-bytes B] [--job-ttl-secs S]
 
 molecules: LiH BeH2 CH4 MgH2 LiCl CO2"
     );
@@ -216,6 +217,7 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
         threads,
         cache_capacity: 1024,
         cache_dir: args.value("--cache-dir").map(std::path::PathBuf::from),
+        cache_max_bytes: args.value("--cache-max-bytes").and_then(|v| v.parse().ok()),
     });
     let mut report_passes = Vec::with_capacity(passes);
     for pass in 1..=passes {
@@ -262,11 +264,12 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
 }
 
 /// Runs the HTTP compilation service until killed. With `--cache-dir` the
-/// engine's result cache gains a persistent disk tier, so a restarted
-/// server answers previously compiled batches from disk.
+/// engine's result cache gains a persistent disk tier (bounded by
+/// `--cache-max-bytes`), so a restarted server answers previously compiled
+/// batches from disk; `--job-ttl-secs` bounds the in-memory job table.
 fn cmd_serve(args: &Args) -> Option<ExitCode> {
     use tetris::engine::EngineConfig;
-    use tetris::server::CompileServer;
+    use tetris::server::{CompileServer, ServerConfig};
 
     let addr = args.value("--addr").unwrap_or("127.0.0.1:7421");
     let threads: usize = args
@@ -285,8 +288,13 @@ fn cmd_serve(args: &Args) -> Option<ExitCode> {
         threads,
         cache_capacity,
         cache_dir: args.value("--cache-dir").map(std::path::PathBuf::from),
+        cache_max_bytes: args.value("--cache-max-bytes").and_then(|v| v.parse().ok()),
     };
-    match CompileServer::bind(addr, config) {
+    let mut server_config = ServerConfig::default();
+    if let Some(secs) = args.value("--job-ttl-secs").and_then(|v| v.parse().ok()) {
+        server_config.job_ttl = std::time::Duration::from_secs(secs);
+    }
+    match CompileServer::bind_with(addr, config, server_config) {
         Ok(server) => {
             println!("listening on http://{}", server.local_addr());
             server.serve_forever()

@@ -226,6 +226,7 @@ fn disk_cache_hits_are_semantically_identical_to_fresh_compiles() {
         threads: 2,
         cache_capacity: 16,
         cache_dir: Some(dir.clone()),
+        cache_max_bytes: None,
     })
     .compile_batch(jobs());
     assert!(fresh.iter().all(|r| !r.cached && r.error.is_none()));
@@ -235,6 +236,7 @@ fn disk_cache_hits_are_semantically_identical_to_fresh_compiles() {
         threads: 2,
         cache_capacity: 16,
         cache_dir: Some(dir.clone()),
+        cache_max_bytes: None,
     });
     let served = engine.compile_batch(jobs());
     assert!(

@@ -319,6 +319,48 @@ fn qubit_mask_set_algebra_matches_reference_model() {
             assert_eq!(a.intersection_count(&b), inter.count());
             assert_eq!(a.intersects(&b), !inter.is_empty());
 
+            // Symmetric difference against the model.
+            let mut sym = a.clone();
+            sym.xor_with(&b);
+            assert_eq!(model_of(&sym), expect(|x, y| x != y));
+
+            // Subset / disjointness against the model.
+            assert_eq!(
+                a.is_subset_of(&b),
+                ma.iter().zip(&mb).all(|(&x, &y)| !x || y)
+            );
+            assert_eq!(
+                a.is_disjoint_from(&b),
+                ma.iter().zip(&mb).all(|(&x, &y)| !(x && y))
+            );
+            assert!(inter.is_subset_of(&a) && inter.is_subset_of(&b));
+            assert!(diff.is_disjoint_from(&b));
+
+            // Cursors against the model's scan.
+            assert_eq!(a.first(), ma.iter().position(|&x| x));
+            for _ in 0..4 {
+                let from = rng.gen_range(0..n);
+                assert_eq!(
+                    a.next_at_or_after(from),
+                    (from..n).find(|&q| ma[q]),
+                    "next_at_or_after({from}) @ {n}"
+                );
+            }
+
+            // from_indices / full round-trips.
+            assert_eq!(QubitMask::from_indices(n, &members), a);
+            assert_eq!(QubitMask::full(n).count(), n);
+            assert!(a.is_subset_of(&QubitMask::full(n)));
+
+            // pop_first drains ascending and leaves the empty set.
+            let mut drain = a.clone();
+            let mut drained = Vec::new();
+            while let Some(q) = drain.pop_first() {
+                drained.push(q);
+            }
+            assert_eq!(drained, members);
+            assert!(drain.is_empty());
+
             // Mutation: remove flips the model bit.
             let q = rng.gen_range(0..n);
             a.remove(q);
@@ -326,7 +368,7 @@ fn qubit_mask_set_algebra_matches_reference_model() {
             assert_eq!(model_of(&a), ma);
 
             // Tail-word hygiene: no operation may set bits ≥ n.
-            for m in [&a, &union, &inter, &diff] {
+            for m in [&a, &union, &inter, &diff, &sym] {
                 if let Some(&last) = m.words().last() {
                     let used = n - (m.words().len() - 1) * 64;
                     if used < 64 {
