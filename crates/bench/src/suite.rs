@@ -5,9 +5,14 @@
 use crate::workloads;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 use tetris_core::TetrisConfig;
-use tetris_engine::{Backend, CacheStats, CompileJob, JobResult};
+use tetris_engine::{
+    Backend, CacheStats, CompileJob, Engine, EngineConfig, JobResult, ShardConfig,
+};
 use tetris_pauli::encoder::Encoding;
+use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
+use tetris_pauli::uccsd::synthetic_ucc;
 use tetris_pauli::Hamiltonian;
 use tetris_topology::CouplingGraph;
 
@@ -63,6 +68,180 @@ pub fn suite_jobs(quick: bool, graph: &Arc<CouplingGraph>) -> Vec<CompileJob> {
     jobs
 }
 
+// ---------------------------------------------------------------- sharding
+
+/// The sharded-service batch: small workloads (widths ≤ 16) that a
+/// 130-node heavy-hex chip can host several of at once. `quick` keeps the
+/// four smallest.
+pub fn shard_device() -> Arc<CouplingGraph> {
+    Arc::new(CouplingGraph::heavy_hex(7, 16)) // 7·16 + 6·3 = 130 nodes
+}
+
+/// Builds the shard-comparison batch against `graph` — one Tetris job per
+/// small workload, every job far narrower than the device. The jobs are
+/// deliberately of *comparable* cost (same width family, distinct seeds →
+/// distinct content): a batch whose wall-clock one heavy job dominates
+/// would measure that job, not the sharding.
+pub fn shard_jobs(quick: bool, graph: &Arc<CouplingGraph>) -> Vec<CompileJob> {
+    let mut hams: Vec<Hamiltonian> = (0..4)
+        .map(|k| {
+            maxcut_hamiltonian(
+                &Graph::random_regular(12, 3, 259 + k),
+                &format!("REG3-12-s{}", 259 + k),
+            )
+        })
+        .collect();
+    hams.push(synthetic_ucc(10, Encoding::JordanWigner, 0x5cc ^ 10));
+    hams.push(synthetic_ucc(10, Encoding::JordanWigner, 0x15cc));
+    if !quick {
+        hams.push(synthetic_ucc(12, Encoding::JordanWigner, 0x5cc ^ 12));
+        hams.push(maxcut_hamiltonian(
+            &Graph::random_regular(14, 3, 263),
+            "REG3-14-s263",
+        ));
+    }
+    hams.into_iter()
+        .map(|h| {
+            CompileJob::new(
+                h.name.clone(),
+                Backend::Tetris(TetrisConfig::default()),
+                Arc::new(h),
+                graph.clone(),
+            )
+        })
+        .collect()
+}
+
+/// One carved region of a shard run, for the report.
+#[derive(Debug, Clone)]
+pub struct ShardRegionReport {
+    /// The job packed onto this region.
+    pub job: String,
+    /// The job's logical width.
+    pub width: usize,
+    /// Physical qubits granted (width + slack).
+    pub region_qubits: usize,
+}
+
+/// Sharded vs sequential-whole-chip comparison over one batch.
+#[derive(Debug, Clone)]
+pub struct ShardComparison {
+    /// The device both sides target.
+    pub device: String,
+    /// Device width in qubits.
+    pub device_qubits: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Wall-clock of the sequential whole-chip baseline (one worker, each
+    /// job compiled against the full device).
+    pub sequential_wall: f64,
+    /// Wall-clock of the sharded batch (region compiles on the pool plus
+    /// relabel + merge).
+    pub sharded_wall: f64,
+    /// Per-region placements of the sharded run.
+    pub regions: Vec<ShardRegionReport>,
+    /// Batch jobs the planner could not place (compiled whole-chip).
+    pub leftover: usize,
+    /// Physical qubits the regions occupy.
+    pub qubits_used: usize,
+}
+
+impl ShardComparison {
+    /// Sequential-over-sharded speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.sharded_wall <= 0.0 {
+            return 0.0;
+        }
+        self.sequential_wall / self.sharded_wall
+    }
+
+    /// Fraction of the device the regions occupy.
+    pub fn utilization(&self) -> f64 {
+        if self.device_qubits == 0 {
+            return 0.0;
+        }
+        self.qubits_used as f64 / self.device_qubits as f64
+    }
+}
+
+/// Runs the shard comparison: the same batch compiled (a) sequentially
+/// against the whole chip on a one-worker engine and (b) through the
+/// region-carved shard path on a `threads`-worker engine. Both engines
+/// start cold, so neither side is served from the other's cache — and the
+/// two paths key their entries apart regardless.
+///
+/// # Panics
+/// Panics if any job fails or the planner sheds a job — the comparison
+/// batch is sized to always fit.
+pub fn run_shard_comparison(quick: bool, threads: usize) -> ShardComparison {
+    let graph = shard_device();
+
+    let sequential_engine = Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 0,
+        cache_dir: None,
+        cache_max_bytes: None,
+    });
+    let jobs = shard_jobs(quick, &graph);
+    let n_jobs = jobs.len();
+    eprintln!(
+        "[bench-suite] shard comparison: {n_jobs} jobs on {} — sequential whole-chip…",
+        graph.name()
+    );
+    let t0 = Instant::now();
+    let sequential = sequential_engine.compile_batch(jobs);
+    let sequential_wall = t0.elapsed().as_secs_f64();
+    assert!(
+        sequential.iter().all(|r| r.error.is_none()),
+        "sequential baseline failed"
+    );
+
+    let sharded_engine = Engine::new(EngineConfig {
+        threads,
+        cache_capacity: 0,
+        cache_dir: None,
+        cache_max_bytes: None,
+    });
+    let jobs = shard_jobs(quick, &graph);
+    eprintln!("[bench-suite] shard comparison: sharded batch on {threads} workers…");
+    let t0 = Instant::now();
+    let sharded = sharded_engine.compile_batch_sharded(jobs, &ShardConfig::default());
+    let sharded_wall = t0.elapsed().as_secs_f64();
+    assert!(
+        sharded.results.iter().all(|r| r.error.is_none()),
+        "sharded batch failed"
+    );
+
+    let mut regions = Vec::new();
+    let mut leftover = 0usize;
+    for shard in &sharded.shards {
+        leftover += shard.plan.leftover.len();
+        for (i, region) in &shard.plan.members {
+            let r = &sharded.results[*i];
+            regions.push(ShardRegionReport {
+                job: r.name.clone(),
+                width: r.output.final_layout.as_ref().map_or(0, |l| l.n_logical()),
+                region_qubits: region.len(),
+            });
+        }
+    }
+    let qubits_used = sharded.shards.iter().map(|s| s.plan.qubits_used()).sum();
+    eprintln!(
+        "[bench-suite] shard comparison: sequential {sequential_wall:.2}s vs sharded {sharded_wall:.2}s ({:.1}x)",
+        sequential_wall / sharded_wall.max(1e-9)
+    );
+    ShardComparison {
+        device: graph.name().to_string(),
+        device_qubits: graph.n_qubits(),
+        jobs: n_jobs,
+        sequential_wall,
+        sharded_wall,
+        regions,
+        leftover,
+        qubits_used,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -103,8 +282,13 @@ impl SuitePass {
 
 /// Renders the full bench-suite report as pretty-printed JSON: engine
 /// sizing, then per pass the batch wall-clock, the cumulative cache
-/// counters and per-job timings and stats.
-pub fn json_report(threads: usize, passes: &[SuitePass]) -> String {
+/// counters and per-job timings and stats; with `shard` set, a trailing
+/// `"shard"` section comparing sharded vs sequential whole-chip walls.
+pub fn json_report(
+    threads: usize,
+    passes: &[SuitePass],
+    shard: Option<&ShardComparison>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"threads\": {threads},");
@@ -173,7 +357,40 @@ pub fn json_report(threads: usize, passes: &[SuitePass]) -> String {
             "    }\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    match shard {
+        None => out.push_str("  ]\n}\n"),
+        Some(s) => {
+            out.push_str("  ],\n");
+            let _ = writeln!(out, "  \"shard\": {{");
+            let _ = writeln!(out, "    \"device\": \"{}\",", json_escape(&s.device));
+            let _ = writeln!(out, "    \"device_qubits\": {},", s.device_qubits);
+            let _ = writeln!(out, "    \"jobs\": {},", s.jobs);
+            let _ = writeln!(out, "    \"leftover\": {},", s.leftover);
+            let _ = writeln!(
+                out,
+                "    \"sequential_wall_seconds\": {:.6},",
+                s.sequential_wall
+            );
+            let _ = writeln!(out, "    \"sharded_wall_seconds\": {:.6},", s.sharded_wall);
+            let _ = writeln!(out, "    \"speedup\": {:.4},", s.speedup());
+            let _ = writeln!(out, "    \"qubits_used\": {},", s.qubits_used);
+            let _ = writeln!(out, "    \"utilization\": {:.4},", s.utilization());
+            let _ = writeln!(out, "    \"regions\": [");
+            for (i, r) in s.regions.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "      {{ \"job\": \"{}\", \"width\": {}, \"region_qubits\": {}, \
+                     \"region_utilization\": {:.4} }}",
+                    json_escape(&r.job),
+                    r.width,
+                    r.region_qubits,
+                    r.region_qubits as f64 / s.device_qubits.max(1) as f64,
+                );
+                out.push_str(if i + 1 < s.regions.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("    ]\n  }\n}\n");
+        }
+    }
     out
 }
 
@@ -194,9 +411,58 @@ mod tests {
 
     #[test]
     fn json_report_is_well_formed_enough() {
-        let report = json_report(4, &[]);
+        let report = json_report(4, &[], None);
         assert!(report.contains("\"threads\": 4"));
         assert!(report.trim_end().ends_with('}'));
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn shard_section_renders() {
+        let cmp = ShardComparison {
+            device: "heavy-hex-7x16".into(),
+            device_qubits: 130,
+            jobs: 4,
+            sequential_wall: 2.0,
+            sharded_wall: 0.5,
+            regions: vec![ShardRegionReport {
+                job: "UCC-8".into(),
+                width: 8,
+                region_qubits: 10,
+            }],
+            leftover: 0,
+            qubits_used: 10,
+        };
+        assert!((cmp.speedup() - 4.0).abs() < 1e-12);
+        let report = json_report(2, &[], Some(&cmp));
+        assert!(report.contains("\"shard\": {"));
+        assert!(report.contains("\"speedup\": 4.0000"));
+        assert!(report.contains("\"region_qubits\": 10"));
+        assert!(report.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn shard_batch_is_small_and_narrow() {
+        let graph = shard_device();
+        assert_eq!(graph.n_qubits(), 130);
+        let quick = shard_jobs(true, &graph);
+        assert_eq!(quick.len(), 6, "quick batch: ≥ 4 small workloads");
+        let full = shard_jobs(false, &graph);
+        assert_eq!(full.len(), 8);
+        for j in &full {
+            assert!(
+                j.hamiltonian.n_qubits <= 16,
+                "{} too wide for sharding demo",
+                j.name
+            );
+        }
+        // Distinct content throughout — content-equal jobs would coalesce
+        // in the cache and skew the sequential baseline.
+        let keys: std::collections::HashSet<u64> = full.iter().map(|j| j.cache_key()).collect();
+        assert_eq!(keys.len(), full.len());
+        // The full batch (plus slack) always fits the device with
+        // headroom for the carver.
+        let widths: usize = full.iter().map(|j| j.hamiltonian.n_qubits + 2).sum();
+        assert!(widths < 130);
     }
 }

@@ -4,7 +4,7 @@ use crate::backend::{Backend, CompileBackend, EngineOutput};
 use std::sync::Arc;
 use tetris_pauli::fingerprint::Fingerprint64;
 use tetris_pauli::Hamiltonian;
-use tetris_topology::CouplingGraph;
+use tetris_topology::{CouplingGraph, Region};
 
 /// One compilation request: a workload, a device and a backend. Inputs are
 /// `Arc`-shared so a suite of hundreds of jobs over six molecules and two
@@ -80,6 +80,14 @@ pub struct JobResult {
     /// [`output`](JobResult::output) holds an empty placeholder, and
     /// nothing is cached.
     pub error: Option<String>,
+    /// The device region this job was sharded onto, when the batch went
+    /// through [`Engine::compile_batch_sharded`](crate::Engine::compile_batch_sharded)
+    /// and the shard planner assigned one: the
+    /// [`output`](JobResult::output) circuit and layout are then already
+    /// relabeled into global device coordinates restricted to this
+    /// region's qubits. `None` for whole-chip compiles (including sharded
+    /// batches' leftover jobs).
+    pub region: Option<Region>,
     /// The compilation output (shared with the cache).
     pub output: Arc<EngineOutput>,
 }

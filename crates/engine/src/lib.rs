@@ -27,6 +27,12 @@
 //!   every baseline (`paulihedral`, `max_cancel`, `pcoast_like`, `generic`,
 //!   `qaoa_2qan`) behind one [`CompileBackend`] trait, so a single batch
 //!   can sweep compilers like-for-like.
+//! * **Region-carved device sharding** ([`shard`],
+//!   [`Engine::compile_batch_sharded`]): a batch of small workloads is
+//!   packed onto disjoint connected regions of one large chip — each job
+//!   compiles against its induced subgraph on the same pool, comes back
+//!   relabeled into global coordinates, and the group merges into one
+//!   combined circuit cached under a region-fingerprinted key.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -61,6 +67,7 @@ pub mod codec;
 pub mod disk;
 pub mod job;
 pub mod pool;
+pub mod shard;
 
 pub use backend::{Backend, CompileBackend, EngineOutput};
 pub use cache::{CacheStats, ResultCache};
@@ -68,3 +75,4 @@ pub use codec::{decode_output, encode_output, CodecError};
 pub use disk::{DiskCache, DiskStats};
 pub use job::{CompileJob, JobResult};
 pub use pool::{Engine, EngineConfig};
+pub use shard::{plan_shards, ShardConfig, ShardPlan, ShardReport, ShardedBatch};

@@ -140,6 +140,12 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// The shared result cache (the shard path stores merged outputs under
+    /// region-fingerprinted keys alongside the per-job entries).
+    pub(crate) fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
     /// Compiles a batch, returning one [`JobResult`] per job in submission
     /// order.
     ///
@@ -215,6 +221,7 @@ impl Engine {
                 cached,
                 engine_seconds: t0.elapsed().as_secs_f64(),
                 error,
+                region: None,
                 output,
             });
         }
@@ -262,6 +269,7 @@ fn worker_loop(rx: &Mutex<Receiver<WorkItem>>, cache: &ResultCache) {
             cached,
             engine_seconds: t0.elapsed().as_secs_f64(),
             error,
+            region: None,
             output,
         };
         // The batch may have been abandoned; dropping the result is fine.

@@ -1,0 +1,454 @@
+//! Region-carved device sharding: one large chip, many small workloads.
+//!
+//! A service batch is dominated by jobs far narrower than the device they
+//! target — every 6-qubit UCCSD job would otherwise monopolize a 130-node
+//! heavy-hex chip. The shard planner groups compatible jobs (same device,
+//! width within the region budget), carves the coupling graph into
+//! disjoint connected [`Region`]s ([`CouplingGraph::carve`]), compiles
+//! each job against its *induced subgraph* through the ordinary worker
+//! pool — so the per-job results are content-addressed exactly like
+//! whole-chip compiles, keyed by the induced graph — and then relabels
+//! every circuit and layout back into global device coordinates. The
+//! relabeled per-job circuits act on pairwise-disjoint qubit sets, so the
+//! batch also merges into one combined [`EngineOutput`] that runs all
+//! jobs concurrently on the one chip; the merged artifact is cached under
+//! a key that folds in every region fingerprint, so sharded and
+//! whole-chip results can never collide.
+//!
+//! Jobs the planner cannot place (wider than the device leaves room for
+//! after its batch-mates, or on an unknown-width device) fall back to
+//! whole-chip compilation inside the same batch — sharding is an
+//! optimization, never a correctness gate.
+
+use crate::backend::EngineOutput;
+use crate::job::{CompileJob, JobResult};
+use crate::pool::Engine;
+use std::sync::Arc;
+use tetris_core::CompileStats;
+use tetris_pauli::fingerprint::Fingerprint64;
+use tetris_topology::{CouplingGraph, Region};
+
+/// Shard-planning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Extra physical qubits granted to each region beyond the job width —
+    /// routing freedom for the compiler (ancilla bridges, SWAP slack). The
+    /// planner retries with zero slack before giving up on a grouping.
+    pub slack: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig { slack: 2 }
+    }
+}
+
+/// One device's shard plan: which batch jobs land on which carved regions,
+/// and which fall back to whole-chip compilation.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// The (whole) target device.
+    pub graph: Arc<CouplingGraph>,
+    /// `(batch index, region)` for every placed job, in batch order.
+    pub members: Vec<(usize, Region)>,
+    /// Batch indices of this device's jobs the planner could not place.
+    pub leftover: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Physical qubits covered by the plan's regions.
+    pub fn qubits_used(&self) -> usize {
+        self.members.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Fraction of the device the regions occupy.
+    pub fn utilization(&self) -> f64 {
+        if self.graph.n_qubits() == 0 {
+            return 0.0;
+        }
+        self.qubits_used() as f64 / self.graph.n_qubits() as f64
+    }
+}
+
+/// A compiled shard: the plan plus the merged whole-device artifact.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The plan this shard executed.
+    pub plan: ShardPlan,
+    /// The region-fingerprinted content address of the merged output.
+    pub cache_key: u64,
+    /// Whether the merged output was served from the cache.
+    pub merged_cached: bool,
+    /// The combined circuit/layout/stats of every placed job, in global
+    /// device coordinates (`None` when any member job failed — per-job
+    /// errors are reported on the individual [`JobResult`]s and a partial
+    /// merge must never be cached or served as the batch artifact).
+    pub merged: Option<Arc<EngineOutput>>,
+}
+
+/// The engine's answer for a sharded batch: per-job results in submission
+/// order (placed jobs relabeled into global coordinates, leftovers
+/// compiled whole-chip) plus one [`ShardReport`] per device group.
+#[derive(Debug)]
+pub struct ShardedBatch {
+    /// One result per submitted job, in submission order.
+    pub results: Vec<JobResult>,
+    /// Per-device shard reports, in first-seen device order.
+    pub shards: Vec<ShardReport>,
+}
+
+/// Groups `jobs` by target device and carves each device into regions, one
+/// per job, of size `width + slack` (retrying with zero slack, then
+/// shedding the widest job to `leftover`, until the carve succeeds).
+/// Deterministic: grouping follows first-seen device order and carving is
+/// [`CouplingGraph::carve`].
+pub fn plan_shards(jobs: &[CompileJob], config: &ShardConfig) -> Vec<ShardPlan> {
+    // Group batch indices by device identity (content fingerprint).
+    let mut groups: Vec<(u64, Arc<CouplingGraph>, Vec<usize>)> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let fp = job.graph.fingerprint();
+        match groups.iter_mut().find(|(gfp, _, _)| *gfp == fp) {
+            Some((_, _, members)) => members.push(i),
+            None => groups.push((fp, job.graph.clone(), vec![i])),
+        }
+    }
+
+    groups
+        .into_iter()
+        .map(|(_, graph, indices)| {
+            let mut placed = indices.clone();
+            let mut leftover = Vec::new();
+            // Shed obviously unplaceable jobs first (wider than the device).
+            placed.retain(|&i| {
+                let fits = jobs[i].hamiltonian.n_qubits <= graph.n_qubits();
+                if !fits {
+                    leftover.push(i);
+                }
+                fits
+            });
+            let members = loop {
+                if placed.is_empty() {
+                    break Vec::new();
+                }
+                let widths: Vec<usize> = placed
+                    .iter()
+                    .map(|&i| jobs[i].hamiltonian.n_qubits)
+                    .collect();
+                let mut carved = None;
+                for slack in [config.slack, 0] {
+                    let sizes: Vec<usize> = widths
+                        .iter()
+                        .map(|&w| (w + slack).min(graph.n_qubits()))
+                        .collect();
+                    if let Some(regions) = graph.carve(&sizes) {
+                        carved = Some(regions);
+                        break;
+                    }
+                    if slack == 0 {
+                        break;
+                    }
+                }
+                match carved {
+                    Some(regions) => {
+                        break placed.iter().copied().zip(regions).collect();
+                    }
+                    None => {
+                        // Shed the widest job (last among ties) and retry.
+                        let widest = placed
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|&(k, &i)| (jobs[i].hamiltonian.n_qubits, k))
+                            .map(|(k, _)| k)
+                            .expect("non-empty");
+                        leftover.push(placed.remove(widest));
+                    }
+                }
+            };
+            leftover.sort_unstable();
+            ShardPlan {
+                graph,
+                members,
+                leftover,
+            }
+        })
+        .collect()
+}
+
+/// Relabels an induced-subgraph compile back into global device
+/// coordinates: every gate operand maps through [`Region::to_global`] and
+/// the final layout is lifted with [`tetris_topology::Layout::offset_into`].
+/// Stats are untouched — depth, durations and gate counts are
+/// relabeling-invariant.
+fn relabel_output(local: &EngineOutput, region: &Region) -> EngineOutput {
+    let mut circuit = tetris_circuit::Circuit::new(region.device_qubits());
+    for gate in local.circuit.gates() {
+        circuit.push(gate.map_qubits(|q| region.to_global(q)));
+    }
+    EngineOutput {
+        compiler: local.compiler.clone(),
+        circuit,
+        stats: local.stats,
+        final_layout: local.final_layout.as_ref().map(|l| l.offset_into(region)),
+    }
+}
+
+/// The content address of a shard's merged output: the whole-chip cache
+/// key of every member job folded with its region fingerprint, domain-
+/// separated from per-job keys — sharded and whole-chip artifacts can
+/// never collide, and moving any job to a different region re-keys.
+fn shard_cache_key(jobs: &[CompileJob], plan: &ShardPlan) -> u64 {
+    let mut h = Fingerprint64::new();
+    h.write_bytes(b"tetris-shard/v1");
+    for (i, region) in &plan.members {
+        h.write_u64(jobs[*i].cache_key());
+        h.write_u64(region.fingerprint());
+    }
+    h.finish()
+}
+
+/// Merges relabeled member outputs into one whole-device artifact. The
+/// member circuits act on pairwise-disjoint physical qubits, so simple
+/// concatenation (batch order) runs them concurrently; logical qubits are
+/// renumbered with per-job offsets (job `k`'s logical `q` becomes
+/// `offset_k + q`) and the layouts union into one partial layout.
+fn merge_outputs(members: &[(&JobResult, &Region, usize)], device_qubits: usize) -> EngineOutput {
+    let mut circuit = tetris_circuit::Circuit::new(device_qubits);
+    let mut stats = CompileStats::default();
+    let mut assignment: Vec<Option<usize>> = Vec::new();
+    for (result, _, width) in members {
+        let out = &result.output;
+        circuit.extend_from(&out.circuit);
+        let s = &out.stats;
+        stats.original_cnots += s.original_cnots;
+        stats.emitted_cnots += s.emitted_cnots;
+        stats.canceled_cnots += s.canceled_cnots;
+        stats.swaps_inserted += s.swaps_inserted;
+        stats.swaps_final += s.swaps_final;
+        stats.canceled_1q += s.canceled_1q;
+        stats.compile_seconds += s.compile_seconds;
+        // Disjoint regions run concurrently: the critical path is the
+        // longest member's, while gate counts accumulate.
+        stats.metrics.depth = stats.metrics.depth.max(s.metrics.depth);
+        stats.metrics.duration = stats.metrics.duration.max(s.metrics.duration);
+        stats.metrics.cnot_count += s.metrics.cnot_count;
+        stats.metrics.single_qubit_count += s.metrics.single_qubit_count;
+        stats.metrics.total_gates += s.metrics.total_gates;
+        stats.metrics.swap_count += s.metrics.swap_count;
+        match &out.final_layout {
+            Some(layout) => assignment.extend((0..layout.n_logical()).map(|q| layout.phys_of(q))),
+            // A backend without layout tracking still occupies its
+            // region; its logical qubits are recorded unplaced.
+            None => assignment.extend((0..*width).map(|_| None)),
+        }
+    }
+    EngineOutput {
+        compiler: format!("Sharded[{}]", members.len()),
+        circuit,
+        stats,
+        final_layout: Some(tetris_topology::Layout::from_partial_assignment(
+            &assignment,
+            device_qubits,
+        )),
+    }
+}
+
+impl Engine {
+    /// Compiles a batch with region-carved device sharding.
+    ///
+    /// Placed jobs compile against their region's induced subgraph on the
+    /// ordinary worker pool (content-addressed per induced graph, so
+    /// repeats and isomorphic regions hit the cache) and return relabeled
+    /// into global coordinates with [`JobResult::region`] set; unplaceable
+    /// jobs compile whole-chip in the same pool pass. Each device group
+    /// additionally yields a merged whole-device artifact in its
+    /// [`ShardReport`], cached under a region-fingerprinted key.
+    pub fn compile_batch_sharded(
+        &self,
+        jobs: Vec<CompileJob>,
+        config: &ShardConfig,
+    ) -> ShardedBatch {
+        let plans = plan_shards(&jobs, config);
+
+        // One flat sub-batch: induced-subgraph jobs for placed members,
+        // the original jobs for leftovers. `origin[k]` maps sub-batch
+        // position k back to (batch index, assigned region).
+        let mut sub_jobs = Vec::with_capacity(jobs.len());
+        let mut origin: Vec<(usize, Option<Region>)> = Vec::with_capacity(jobs.len());
+        for plan in &plans {
+            for (i, region) in &plan.members {
+                let job = &jobs[*i];
+                sub_jobs.push(CompileJob::new(
+                    job.name.clone(),
+                    job.backend,
+                    job.hamiltonian.clone(),
+                    Arc::new(plan.graph.induced(region)),
+                ));
+                origin.push((*i, Some(region.clone())));
+            }
+            for &i in &plan.leftover {
+                sub_jobs.push(jobs[i].clone());
+                origin.push((i, None));
+            }
+        }
+
+        let sub_results = self.compile_batch(sub_jobs);
+
+        let mut slots: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+        for (mut result, (index, region)) in sub_results.into_iter().zip(origin) {
+            result.index = index;
+            if let Some(region) = region {
+                if result.error.is_none() {
+                    result.output = Arc::new(relabel_output(&result.output, &region));
+                }
+                result.region = Some(region);
+            }
+            slots[index] = Some(result);
+        }
+        let results: Vec<JobResult> = slots
+            .into_iter()
+            .map(|s| s.expect("every job answered"))
+            .collect();
+
+        let shards = plans
+            .into_iter()
+            .map(|plan| {
+                let cache_key = shard_cache_key(&jobs, &plan);
+                let members: Vec<(&JobResult, &Region, usize)> = plan
+                    .members
+                    .iter()
+                    .map(|(i, r)| (&results[*i], r, jobs[*i].hamiltonian.n_qubits))
+                    .collect();
+                let complete =
+                    !members.is_empty() && members.iter().all(|(r, _, _)| r.error.is_none());
+                let (merged, merged_cached) = if !complete {
+                    (None, false)
+                } else {
+                    match self.cache().get(cache_key) {
+                        Some(hit) => (Some(hit), true),
+                        None => {
+                            let built = merge_outputs(&members, plan.graph.n_qubits());
+                            (Some(self.cache().insert(cache_key, built)), false)
+                        }
+                    }
+                };
+                ShardReport {
+                    plan,
+                    cache_key,
+                    merged_cached,
+                    merged,
+                }
+            })
+            .collect();
+
+        ShardedBatch { results, shards }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use tetris_core::TetrisConfig;
+    use tetris_pauli::{Hamiltonian, PauliBlock, PauliTerm};
+
+    fn small_job(name: &str, strings: &[&str], graph: &Arc<CouplingGraph>) -> CompileJob {
+        let n = strings[0].len();
+        let blocks = strings
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                PauliBlock::new(
+                    vec![PauliTerm::new(s.parse().unwrap(), 1.0)],
+                    0.2 + 0.1 * k as f64,
+                    format!("b{k}"),
+                )
+            })
+            .collect();
+        CompileJob::new(
+            name,
+            Backend::Tetris(TetrisConfig::default()),
+            Arc::new(Hamiltonian::new(n, blocks, name)),
+            graph.clone(),
+        )
+    }
+
+    #[test]
+    fn planner_places_compatible_jobs_and_sheds_the_rest() {
+        let graph = Arc::new(CouplingGraph::line(10));
+        let jobs = vec![
+            small_job("a", &["XYZ"], &graph),
+            small_job("b", &["ZZZZ"], &graph),
+            small_job("c", &["XXXXXXXXX"], &graph), // 9 wide: cannot coexist
+        ];
+        let plans = plan_shards(&jobs, &ShardConfig::default());
+        assert_eq!(plans.len(), 1, "one device, one plan");
+        let plan = &plans[0];
+        assert_eq!(plan.leftover, vec![2], "widest job shed");
+        assert_eq!(plan.members.len(), 2);
+        for ((i, region), width) in plan.members.iter().zip([3usize, 4]) {
+            assert_eq!(jobs[*i].hamiltonian.n_qubits, width);
+            assert!(region.len() >= width, "region fits the job");
+            assert!(plan.graph.is_region_connected(region));
+        }
+        assert!(plan.members[0].1.is_disjoint_from(&plan.members[1].1));
+    }
+
+    #[test]
+    fn planner_groups_by_device() {
+        let line = Arc::new(CouplingGraph::line(12));
+        let ring = Arc::new(CouplingGraph::ring(12));
+        let jobs = vec![
+            small_job("a", &["XY"], &line),
+            small_job("b", &["YZ"], &ring),
+            small_job("c", &["ZX"], &line),
+        ];
+        let plans = plan_shards(&jobs, &ShardConfig::default());
+        assert_eq!(plans.len(), 2);
+        assert_eq!(
+            plans[0].members.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            plans[1].members.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn jobs_wider_than_the_device_fall_back_whole_chip() {
+        let graph = Arc::new(CouplingGraph::line(4));
+        // 5-qubit workload on a 4-qubit device: unplaceable AND the
+        // whole-chip fallback also fails — but as a reported per-job
+        // error, never a panic.
+        let jobs = vec![
+            small_job("narrow", &["XY"], &graph),
+            small_job("wide", &["ZZZZZ"], &graph),
+        ];
+        let engine = Engine::new(crate::EngineConfig {
+            threads: 2,
+            cache_capacity: 16,
+            cache_dir: None,
+            cache_max_bytes: None,
+        });
+        let batch = engine.compile_batch_sharded(jobs, &ShardConfig::default());
+        assert!(batch.results[0].error.is_none());
+        assert!(batch.results[0].region.is_some());
+        assert!(batch.results[1].error.is_some(), "wide job fails cleanly");
+        assert!(batch.results[1].region.is_none(), "never assigned a region");
+        let shard = &batch.shards[0];
+        assert_eq!(shard.plan.leftover, vec![1]);
+        assert!(shard.merged.is_some(), "placed members merged");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let graph = Arc::new(CouplingGraph::line(10));
+        let jobs = vec![
+            small_job("a", &["XYZ"], &graph),
+            small_job("b", &["ZZZ"], &graph),
+        ];
+        let plans = plan_shards(&jobs, &ShardConfig { slack: 0 });
+        assert_eq!(plans[0].qubits_used(), 6);
+        assert!((plans[0].utilization() - 0.6).abs() < 1e-12);
+    }
+}

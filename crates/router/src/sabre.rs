@@ -1,7 +1,8 @@
 //! The SABRE-style routing algorithm.
 //!
 //! Bookkeeping is bitplane-native: the executed-gate set, the front-layer
-//! membership test and the ready-qubit dedup all run on packed
+//! membership test, the ready-qubit dedup and the phase-2 candidate-edge
+//! dedup (packed over edge keys `min·n + max`) all run on packed
 //! [`QubitMask`]s, and the extended (lookahead) window is held in a decay
 //! cache that is only rebuilt when a gate actually executes. Two
 //! structures deliberately stay `Vec`s: the front layer itself (its
@@ -113,6 +114,11 @@ pub fn route(
     // Scratch for deduplicating the next check worklist (packed over
     // logical qubits, cleared per round).
     let mut in_next_check = QubitMask::empty(n_log.max(1));
+    // Scratch for deduplicating phase 2's candidate-edge list, packed
+    // over edge keys `min·n + max`; entries are removed after each round
+    // so the clear costs O(candidates), not O(n²/64) words.
+    let n_phys = graph.n_qubits();
+    let mut in_candidates = QubitMask::empty((n_phys * n_phys).max(1));
     loop {
         // Phase 1: drain every ready & executable gate.
         let mut progressed = true;
@@ -246,17 +252,23 @@ pub fn route(
             front_dirty = false;
         }
 
+        // Candidate edges, insertion-ordered with a packed dedup set
+        // (keyed `min·n + max`) replacing the old `Vec::contains` scan.
         let mut candidates: Vec<(usize, usize)> = Vec::new();
         for &(a, b) in &front_pairs {
             for lq in [a, b] {
                 let p = layout.phys_of(lq).unwrap();
                 for &nb in graph.neighbors(p) {
                     let e = (p.min(nb), p.max(nb));
-                    if !candidates.contains(&e) {
+                    if !in_candidates.contains(e.0 * n_phys + e.1) {
+                        in_candidates.insert(e.0 * n_phys + e.1);
                         candidates.push(e);
                     }
                 }
             }
+        }
+        for &(u, v) in &candidates {
+            in_candidates.remove(u * n_phys + v);
         }
         // Avoid immediately undoing the previous swap when alternatives
         // exist.

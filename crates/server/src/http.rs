@@ -1,17 +1,24 @@
 //! The std-only HTTP/1.1 front-end.
 //!
 //! A hand-rolled server over `TcpListener` — the same no-dependency
-//! discipline as the rest of the workspace. One thread accepts, one short-
-//! lived thread per connection parses a single request and writes a single
-//! `Connection: close` response; batches are compiled on a detached thread
-//! so submission returns immediately and clients poll.
+//! discipline as the rest of the workspace. One thread accepts, one
+//! thread per connection runs a keep-alive request loop: requests are
+//! served back to back on the same socket (`Connection: keep-alive`, the
+//! HTTP/1.1 default) until the client sends `Connection: close`, goes
+//! idle past the socket timeout, or errors. Batches are compiled on a
+//! detached thread so submission returns immediately and clients poll.
 //!
 //! Routes:
 //!
 //! * `POST /batch` — body `{"jobs": [{"workload": …, "backend": …,
-//!   "device": …}, …]}`; every spec is validated against the
-//!   [`crate::registry`] before anything is enqueued (one bad spec fails
-//!   the whole batch with `400`, nothing half-submitted). Returns
+//!   "device": …}, …], "shard": bool}`; every spec is validated against
+//!   the [`crate::registry`] before anything is enqueued (one bad spec
+//!   fails the whole batch with `400`, nothing half-submitted). With
+//!   `"shard": true` the batch compiles through the engine's
+//!   region-carved sharding path
+//!   ([`tetris_engine::Engine::compile_batch_sharded`]): compatible jobs
+//!   are packed onto disjoint regions of their device and each result's
+//!   `region` field lists the physical qubits it occupies. Returns
 //!   `{"job_ids": [...]}`.
 //! * `GET /job/<id>` — `{"status": "pending"}` while compiling, else the
 //!   full result record (stats, cache provenance, a `stats_digest` for
@@ -35,7 +42,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tetris_engine::{CompileJob, Engine, EngineConfig, JobResult};
+use tetris_engine::{CompileJob, Engine, EngineConfig, JobResult, ShardConfig};
 
 /// Request bodies above this size are rejected with `413` — compile
 /// requests are names, not payloads.
@@ -46,7 +53,9 @@ const MAX_BODY: usize = 1 << 20;
 const MAX_HEAD: usize = 16 << 10;
 
 /// Per-connection socket timeout: an idle or trickling client gets its
-/// read/write aborted instead of parking a thread forever.
+/// read/write aborted instead of parking a thread forever. Doubles as the
+/// keep-alive idle timeout — a connection with no next request within it
+/// is closed quietly.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Server-side policy knobs (everything not owned by the engine).
@@ -198,67 +207,123 @@ impl CompileServer {
 
 // ------------------------------------------------------------- wire level
 
-/// A parsed request: method, path, query string and body.
+/// A parsed request: method, path, query string, body and whether the
+/// client wants the connection kept open afterwards.
 struct Request {
     method: String,
     path: String,
     query: String,
     body: Vec<u8>,
+    keep_alive: bool,
 }
 
-/// Reads one HTTP/1.1 request. Total bytes consumed are bounded by
-/// `MAX_HEAD + MAX_BODY` and every read is under the socket timeout, so a
-/// hostile client can neither park the thread nor grow memory unboundedly.
-fn read_request(stream: &mut TcpStream) -> Result<Request, &'static str> {
-    let mut reader = BufReader::new((&mut *stream).take((MAX_HEAD + MAX_BODY) as u64));
-    let mut head_budget = MAX_HEAD;
-    let mut read_head_line =
-        |reader: &mut dyn BufRead, line: &mut String| -> Result<(), &'static str> {
-            let n = reader.read_line(line).map_err(|_| "unreadable header")?;
-            if n == 0 {
-                return Err("connection closed mid-request");
+/// Why [`read_request`] produced no request.
+enum ReadError {
+    /// The connection ended cleanly between requests (EOF or idle timeout
+    /// before the first request byte) — close without a response.
+    Idle,
+    /// A malformed or oversized request — answer it, then close.
+    Bad(&'static str),
+}
+
+/// Reads one HTTP/1.1 request from the connection's shared reader. Head
+/// bytes are bounded by `MAX_HEAD`, the body by `MAX_BODY`, and every
+/// read is under the socket timeout, so a hostile client can neither park
+/// the thread nor grow memory unboundedly. The reader persists across
+/// keep-alive requests, so bytes buffered past one request are not lost.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut head = (&mut *reader).take(MAX_HEAD as u64);
+    let read_head_line =
+        |head: &mut dyn BufRead, line: &mut String, first: bool| -> Result<(), ReadError> {
+            match head.read_line(line) {
+                // EOF (or idle timeout) before the first byte of a request is
+                // a clean keep-alive close, not a protocol error.
+                Ok(0) if first && line.is_empty() => Err(ReadError::Idle),
+                Ok(_) if line.ends_with('\n') => Ok(()),
+                Ok(_) => Err(ReadError::Bad(if line.is_empty() {
+                    "connection closed mid-request"
+                } else {
+                    "header section too large"
+                })),
+                Err(e)
+                    if first
+                        && line.is_empty()
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    Err(ReadError::Idle)
+                }
+                Err(_) => Err(ReadError::Bad("unreadable header")),
             }
-            if !line.ends_with('\n') || n > head_budget {
-                return Err("header section too large");
-            }
-            head_budget -= n;
-            Ok(())
         };
 
     let mut line = String::new();
-    read_head_line(&mut reader, &mut line)?;
+    read_head_line(&mut head, &mut line, true)?;
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_string();
-    let target = parts.next().ok_or("missing path")?.to_string();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Bad("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(ReadError::Bad("missing path"))?
+        .to_string();
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target, String::new()),
     };
+    // Keep-alive is the HTTP/1.1 default; anything else (1.0, or an
+    // unparseable version) defaults to close.
+    let mut keep_alive = parts.next() == Some("HTTP/1.1");
 
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        read_head_line(&mut reader, &mut header)?;
+        read_head_line(&mut head, &mut header, false)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
         }
         if let Some((k, v)) = header.split_once(':') {
             if k.eq_ignore_ascii_case("content-length") {
-                content_length = v.trim().parse().map_err(|_| "bad content-length")?;
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Bad("bad content-length"))?;
+            } else if k.eq_ignore_ascii_case("connection") {
+                // The Connection header is a token list; `close` anywhere
+                // in it wins over everything, an explicit `keep-alive`
+                // opts a 1.0 client in.
+                let has = |t: &str| v.split(',').any(|tok| tok.trim().eq_ignore_ascii_case(t));
+                if has("close") {
+                    keep_alive = false;
+                } else if has("keep-alive") {
+                    keep_alive = true;
+                }
+            } else if k.eq_ignore_ascii_case("transfer-encoding") {
+                // Only Content-Length framing is supported. A chunked
+                // body left on the socket would desync the keep-alive
+                // loop (the chunks would parse as the next request), so
+                // reject it and close.
+                return Err(ReadError::Bad("transfer-encoding not supported"));
             }
         }
     }
     if content_length > MAX_BODY {
-        return Err("body too large");
+        return Err(ReadError::Bad("body too large"));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|_| "short body")?;
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ReadError::Bad("short body"))?;
     Ok(Request {
         method,
         path,
         query,
         body,
+        keep_alive,
     })
 }
 
@@ -274,9 +339,10 @@ fn status_text(code: u16) -> &'static str {
     }
 }
 
-fn respond(stream: &mut TcpStream, code: u16, body: &str) {
+fn respond(stream: &mut TcpStream, code: u16, body: &str, keep_alive: bool) {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let response = format!(
-        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         status_text(code),
         body.len(),
     );
@@ -288,19 +354,34 @@ fn error_body(message: &str) -> String {
     format!("{{ \"error\": \"{}\" }}\n", escape(message))
 }
 
-fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
+/// Serves one connection: a keep-alive loop reading requests back to back
+/// on one socket until the client closes, asks for `Connection: close`,
+/// goes idle past [`SOCKET_TIMEOUT`], or sends something malformed.
+fn handle_connection(stream: TcpStream, state: &Arc<AppState>) {
     let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let request = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(e) => {
-            let code = if e == "body too large" { 413 } else { 400 };
-            respond(&mut stream, code, &error_body(e));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ReadError::Idle) => return,
+            Err(ReadError::Bad(e)) => {
+                let code = if e == "body too large" { 413 } else { 400 };
+                respond(&mut writer, code, &error_body(e), false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (code, body) = route(&request, state);
+        respond(&mut writer, code, &body, keep_alive);
+        if !keep_alive {
             return;
         }
-    };
-    let (code, body) = route(&request, state);
-    respond(&mut stream, code, &body);
+    }
 }
 
 fn route(request: &Request, state: &Arc<AppState>) -> (u16, String) {
@@ -344,6 +425,13 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
     if specs.is_empty() {
         return (400, error_body("empty batch"));
     }
+    let shard = match doc.get("shard") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return (400, error_body("`shard` must be a boolean")),
+        },
+    };
 
     // Validate and build everything before touching the job table: a batch
     // either enqueues whole or not at all.
@@ -401,7 +489,14 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
     let worker_state = state.clone();
     let worker_ids = ids.clone();
     std::thread::spawn(move || {
-        let results = worker_state.engine.compile_batch(jobs);
+        let results = if shard {
+            worker_state
+                .engine
+                .compile_batch_sharded(jobs, &ShardConfig::default())
+                .results
+        } else {
+            worker_state.engine.compile_batch(jobs)
+        };
         let done_at = Instant::now();
         let mut table = worker_state.jobs.lock().expect("job table lock");
         for (id, result) in worker_ids.into_iter().zip(results) {
@@ -484,9 +579,18 @@ fn job_body(id: u64, r: &JobResult, with_qasm: bool) -> String {
     } else {
         String::new()
     };
+    // Sharded jobs report the physical device qubits they were packed
+    // onto (global indices, ascending).
+    let region = match &r.region {
+        Some(region) => format!(
+            " \"region\": {:?},",
+            region.iter_globals().collect::<Vec<_>>()
+        ),
+        None => String::new(),
+    };
     format!(
         "{{ \"id\": {id}, \"status\": \"done\", \"name\": \"{}\", \"compiler\": \"{}\", \
-         \"cache_key\": \"{:016x}\", \"cached\": {},{error}{qasm} \"engine_seconds\": {:.6}, \
+         \"cache_key\": \"{:016x}\", \"cached\": {},{error}{qasm}{region} \"engine_seconds\": {:.6}, \
          \"stats_digest\": \"{:016x}\", \"gates\": {}, \"cnots\": {}, \"swaps\": {}, \
          \"depth\": {}, \"duration\": {}, \"cancel_ratio\": {:.4} }}\n",
         escape(&r.name),

@@ -58,6 +58,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one JSON document (surrounding whitespace allowed, trailing

@@ -223,6 +223,174 @@ fn bad_requests_are_rejected_not_fatal() {
     assert_eq!(field(&done, "compiler"), Some("MaxCancel"));
 }
 
+/// Sends one request on an already-open socket and reads exactly one
+/// response (headers + `Content-Length` body), leaving the connection
+/// usable for the next request — the keep-alive client path.
+fn request_on(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String, String) {
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+
+    // Read the head byte-wise until the blank line (no BufReader: it
+    // would swallow bytes of the next response on this shared socket).
+    let mut head = Vec::new();
+    while !head.ends_with(b"\r\n\r\n") {
+        let mut byte = [0u8; 1];
+        stream.read_exact(&mut byte).expect("head byte");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("utf8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_string)
+        })
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    let mut payload = vec![0u8; content_length];
+    stream.read_exact(&mut payload).expect("body");
+    (status, String::from_utf8(payload).expect("utf8 body"), head)
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_socket() {
+    let addr = start_server();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+
+    // Several requests back to back on the same connection, mixing
+    // methods and routes.
+    let (status, body, head) = request_on(&mut stream, "GET", "/stats", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        head.to_ascii_lowercase().contains("connection: keep-alive"),
+        "server must advertise keep-alive: {head}"
+    );
+    let batch =
+        r#"{ "jobs": [{"workload": "REG3-8-s1", "backend": "maxcancel", "device": "ring-9"}] }"#;
+    let (status, body, _) = request_on(&mut stream, "POST", "/batch", Some(batch));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"job_ids\": [1]"), "{body}");
+    // Poll to completion — still the same socket.
+    let t0 = Instant::now();
+    loop {
+        let (status, body, _) = request_on(&mut stream, "GET", "/job/1", None);
+        assert_eq!(status, 200, "{body}");
+        if field(&body, "status") == Some("done") {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "job did not finish"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Errors mid-connection do not wedge the loop either.
+    let (status, _, _) = request_on(&mut stream, "GET", "/job/999", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = request_on(&mut stream, "GET", "/stats", None);
+    assert_eq!(status, 200, "connection survives a 404");
+
+    // An explicit `Connection: close` is honored even inside a token
+    // list: the server answers and then closes its end.
+    let request =
+        "GET /stats HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\nConnection: close, TE\r\n\r\n";
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).expect("read to close");
+    assert!(rest.starts_with("HTTP/1.1 200"), "{rest}");
+    assert!(
+        rest.to_ascii_lowercase().contains("connection: close"),
+        "{rest}"
+    );
+
+    // HTTP/1.0 defaults to close (no Connection header at all).
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let request = "GET /stats HTTP/1.0\r\nHost: test\r\nContent-Length: 0\r\n\r\n";
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).expect("read to close");
+    assert!(rest.starts_with("HTTP/1.1 200"), "{rest}");
+    assert!(
+        rest.to_ascii_lowercase().contains("connection: close"),
+        "1.0 requests must not be kept alive: {rest}"
+    );
+
+    // Chunked bodies are refused outright: only Content-Length framing is
+    // supported, and silently mis-framing a chunked body would desync the
+    // keep-alive loop into reading chunks as requests.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let request = "POST /batch HTTP/1.1\r\nHost: test\r\nTransfer-Encoding: chunked\r\n\r\n\
+                   2a\r\nnot a request line\r\n0\r\n\r\n";
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).expect("read to close");
+    assert!(rest.starts_with("HTTP/1.1 400"), "{rest}");
+    assert_eq!(
+        rest.matches("HTTP/1.1").count(),
+        1,
+        "exactly one response — chunk lines must not be parsed as requests: {rest}"
+    );
+}
+
+#[test]
+fn sharded_batches_report_disjoint_regions() {
+    let addr = start_server();
+    // Two 8-qubit workloads sharded onto one 16-qubit grid: the planner
+    // must pack them side by side (slack retries down to zero).
+    let body = r#"{ "shard": true, "jobs": [
+        {"workload": "REG3-8-s1", "backend": "tetris", "device": "grid-4x4"},
+        {"workload": "REG3-8-s2", "backend": "tetris", "device": "grid-4x4"}
+    ] }"#;
+    let (status, response) = request(&addr, "POST", "/batch", Some(body));
+    assert_eq!(status, 200, "{response}");
+
+    let first = poll_done(&addr, 1, Duration::from_secs(120));
+    let second = poll_done(&addr, 2, Duration::from_secs(120));
+    let parse_region = |body: &str| -> Vec<usize> {
+        let tag = "\"region\": [";
+        let rest = &body[body.find(tag).expect("region field") + tag.len()..];
+        let list = &rest[..rest.find(']').expect("close bracket")];
+        list.split(',')
+            .map(|s| s.trim().parse().expect("qubit index"))
+            .collect()
+    };
+    let a = parse_region(&first);
+    let b = parse_region(&second);
+    assert_eq!(a.len() + b.len(), 16, "8 + 8 on a 16-qubit grid, no slack");
+    assert!(
+        a.iter().all(|q| !b.contains(q)),
+        "regions overlap: {a:?} {b:?}"
+    );
+    assert!(a.iter().chain(&b).all(|&q| q < 16));
+
+    // A non-boolean shard flag is rejected whole-batch.
+    let (status, response) = request(
+        &addr,
+        "POST",
+        "/batch",
+        Some(r#"{ "shard": "yes", "jobs": [{"workload": "REG3-8-s1", "backend": "tetris"}] }"#),
+    );
+    assert_eq!(status, 400, "{response}");
+}
+
 /// A server whose completed jobs expire after `ttl`.
 fn start_server_with_ttl(ttl: Duration) -> String {
     let server = CompileServer::bind_with(

@@ -1,7 +1,9 @@
 //! Undirected coupling graphs with precomputed all-pairs distances.
 
+use crate::region::Region;
 use std::collections::VecDeque;
 use std::fmt;
+use tetris_pauli::mask::QubitMask;
 
 /// Distance marker for unreachable pairs.
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -202,6 +204,174 @@ impl CouplingGraph {
     /// Whether the graph is connected.
     pub fn is_connected(&self) -> bool {
         (0..self.n).all(|v| self.dist(0, v) != UNREACHABLE)
+    }
+
+    // ---------------------------------------------------------------------
+    // Region carving — sharding one device across many small workloads
+    // ---------------------------------------------------------------------
+
+    /// Carves the device into disjoint, connected [`Region`]s of the
+    /// requested `sizes` (output aligned with the input order), leaving the
+    /// remaining free qubits viable for later carves. Returns `None` when
+    /// no carving is found (sizes exceed the device, a size is zero, or
+    /// the free space fragments).
+    ///
+    /// The algorithm is deterministic: regions are carved largest-first
+    /// (stable on ties), each by frontier growth from a low-free-degree
+    /// seed ("corner-first", which keeps the remainder compact), and a
+    /// candidate region is only accepted when the remaining free
+    /// components can still host every remaining size.
+    pub fn carve(&self, sizes: &[usize]) -> Option<Vec<Region>> {
+        if sizes.is_empty() || sizes.contains(&0) || sizes.iter().sum::<usize>() > self.n {
+            return None;
+        }
+        // Largest-first carve order, stable over the input order.
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(sizes[i]), i));
+
+        let mut free = QubitMask::full(self.n);
+        let mut out: Vec<Option<Region>> = vec![None; sizes.len()];
+        for (k, &si) in order.iter().enumerate() {
+            let remaining: Vec<usize> = order[k + 1..].iter().map(|&j| sizes[j]).collect();
+            let mask = self.carve_one(sizes[si], &free, &remaining)?;
+            free.subtract(&mask);
+            out[si] = Some(Region::from_mask(mask));
+        }
+        Some(
+            out.into_iter()
+                .map(|r| r.expect("every slot carved"))
+                .collect(),
+        )
+    }
+
+    /// Grows one connected region of `size` inside `free`, trying seeds in
+    /// corner-first order and accepting the first candidate that leaves the
+    /// `remaining` sizes placeable.
+    fn carve_one(&self, size: usize, free: &QubitMask, remaining: &[usize]) -> Option<QubitMask> {
+        // Corner-first seed order: fewest free neighbors, then index.
+        let mut seeds: Vec<usize> = free.iter().collect();
+        seeds.sort_by_key(|&q| (self.adj[q].iter().filter(|&&v| free.contains(v)).count(), q));
+        for &seed in &seeds {
+            let Some(mask) = self.grow_region(seed, size, free) else {
+                continue;
+            };
+            let mut rest = free.clone();
+            rest.subtract(&mask);
+            if Self::placeable(&self.free_component_sizes(&rest), remaining) {
+                return Some(mask);
+            }
+        }
+        None
+    }
+
+    /// Frontier growth: starting from `seed`, repeatedly absorbs the free
+    /// frontier qubit with the most neighbors already inside the region
+    /// (ties toward the smallest index), which keeps the region compact.
+    /// `None` if the component around `seed` is smaller than `size`.
+    fn grow_region(&self, seed: usize, size: usize, free: &QubitMask) -> Option<QubitMask> {
+        let mut region = QubitMask::empty(self.n);
+        region.insert(seed);
+        while region.count() < size {
+            let mut best: Option<(usize, usize)> = None; // (score, qubit)
+            for q in region.iter() {
+                for &v in &self.adj[q] {
+                    if !free.contains(v) || region.contains(v) {
+                        continue;
+                    }
+                    let score = self.adj[v].iter().filter(|&&w| region.contains(w)).count();
+                    let better = match best {
+                        None => true,
+                        Some((bs, bq)) => score > bs || (score == bs && v < bq),
+                    };
+                    if better {
+                        best = Some((score, v));
+                    }
+                }
+            }
+            region.insert(best?.1);
+        }
+        Some(region)
+    }
+
+    /// Sizes of the connected components of the free subgraph, descending.
+    fn free_component_sizes(&self, free: &QubitMask) -> Vec<usize> {
+        let mut unseen = free.clone();
+        let mut sizes = Vec::new();
+        let mut queue = VecDeque::new();
+        while let Some(start) = unseen.pop_first() {
+            let mut count = 1usize;
+            queue.clear();
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    if unseen.contains(v) {
+                        unseen.remove(v);
+                        count += 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            sizes.push(count);
+        }
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// Whether `sizes` can be packed into components of the given sizes
+    /// (best-fit decreasing — a necessary condition; the per-seed retry in
+    /// [`carve_one`](CouplingGraph::carve_one) recovers from the rare
+    /// connected-subdivision failure).
+    fn placeable(components: &[usize], sizes: &[usize]) -> bool {
+        let mut capacity = components.to_vec();
+        let mut sizes = sizes.to_vec();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        for s in sizes {
+            // Best fit: the smallest capacity that still holds `s`.
+            match capacity.iter_mut().filter(|c| **c >= s).min_by_key(|c| **c) {
+                Some(c) => *c -= s,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// The subgraph induced by `region`, re-indexed into the region's
+    /// *local* index space (local `i` is the region's `i`-th member in
+    /// ascending global order — see [`Region::to_global`] /
+    /// [`Region::to_local`]). The induced graph's
+    /// [`fingerprint`](CouplingGraph::fingerprint) therefore depends only
+    /// on the local wiring, so isomorphically-carved regions share
+    /// compilation cache entries.
+    ///
+    /// # Panics
+    /// Panics if the region belongs to a different device width.
+    pub fn induced(&self, region: &Region) -> CouplingGraph {
+        assert_eq!(
+            region.device_qubits(),
+            self.n,
+            "region carved from a different device"
+        );
+        let mut edges = Vec::new();
+        for (lu, gu) in region.iter_globals().enumerate() {
+            for &gv in &self.adj[gu] {
+                if gv > gu {
+                    if let Some(lv) = region.to_local(gv) {
+                        edges.push((lu, lv));
+                    }
+                }
+            }
+        }
+        CouplingGraph::from_edges(
+            region.len(),
+            edges,
+            format!("{}/r{:08x}", self.name, region.fingerprint() as u32),
+        )
+    }
+
+    /// Whether `region`'s members form one connected component of this
+    /// graph (the invariant [`carve`](CouplingGraph::carve) guarantees).
+    pub fn is_region_connected(&self, region: &Region) -> bool {
+        region.is_empty() || self.induced(region).is_connected()
     }
 
     // ---------------------------------------------------------------------
@@ -482,6 +652,63 @@ mod tests {
                 assert!(g.are_adjacent(w[0], w[1]));
             }
         }
+    }
+
+    fn assert_valid_carving(g: &CouplingGraph, sizes: &[usize]) {
+        let regions = g.carve(sizes).expect("carve succeeds");
+        assert_eq!(regions.len(), sizes.len());
+        for (r, &s) in regions.iter().zip(sizes) {
+            assert_eq!(r.len(), s, "requested size honored");
+            assert!(g.is_region_connected(r), "region must be connected");
+        }
+        for i in 0..regions.len() {
+            for j in i + 1..regions.len() {
+                assert!(
+                    regions[i].is_disjoint_from(&regions[j]),
+                    "regions {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn carve_yields_connected_disjoint_regions() {
+        assert_valid_carving(&CouplingGraph::line(20), &[5, 5, 5, 5]);
+        assert_valid_carving(&CouplingGraph::grid(4, 5), &[6, 4, 3]);
+        assert_valid_carving(&CouplingGraph::heavy_hex_65(), &[10, 12, 8, 9]);
+        assert_valid_carving(&CouplingGraph::sycamore_64(), &[16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn carve_is_deterministic_and_rejects_impossible_requests() {
+        let g = CouplingGraph::heavy_hex(7, 16);
+        assert_eq!(g.n_qubits(), 130, "the 130-node service device");
+        let a = g.carve(&[12, 9, 14, 7]).expect("carve");
+        let b = g.carve(&[12, 9, 14, 7]).expect("carve");
+        assert_eq!(a, b, "same request, same carving");
+        assert!(g.carve(&[131]).is_none(), "wider than the device");
+        assert!(g.carve(&[0, 4]).is_none(), "zero-size region");
+        assert!(g.carve(&[]).is_none(), "empty request");
+        assert!(g.carve(&[70, 70]).is_none(), "sum over device width");
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_local_wiring() {
+        let g = CouplingGraph::grid(3, 4);
+        // A 2×2 corner: globals {0, 1, 4, 5} → locals {0, 1, 2, 3}.
+        let r = Region::new(12, [0, 1, 4, 5]);
+        let sub = g.induced(&r);
+        assert_eq!(sub.n_qubits(), 4);
+        assert!(sub.are_adjacent(0, 1)); // 0–1
+        assert!(sub.are_adjacent(0, 2)); // 0–4
+        assert!(sub.are_adjacent(1, 3)); // 1–5
+        assert!(sub.are_adjacent(2, 3)); // 4–5
+        assert!(!sub.are_adjacent(0, 3)); // 0–5 not coupled
+        assert_eq!(sub.edges().len(), 4);
+        // The induced fingerprint is local-structural: the same shape
+        // carved elsewhere hashes equal.
+        let r2 = Region::new(12, [6, 7, 10, 11]);
+        assert_eq!(sub.fingerprint(), g.induced(&r2).fingerprint());
     }
 
     #[test]

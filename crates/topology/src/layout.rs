@@ -178,6 +178,27 @@ impl Layout {
             .collect()
     }
 
+    /// Lifts a layout expressed in a region's *local* physical index space
+    /// onto the region's device: logical `q` at local physical `p` moves to
+    /// global physical [`Region::to_global`]`(p)`, and the physical space
+    /// widens to the full device. Free device qubits outside the region
+    /// stay free — this is how a compile against an induced subgraph
+    /// ([`CouplingGraph::induced`]) re-enters global coordinates.
+    ///
+    /// # Panics
+    /// Panics if the layout's physical width is not the region's size.
+    pub fn offset_into(&self, region: &crate::Region) -> Layout {
+        assert_eq!(
+            self.n_physical(),
+            region.len(),
+            "layout lives on a different index space than the region"
+        );
+        let assignment: Vec<Option<usize>> = (0..self.n_logical())
+            .map(|q| self.phys_of(q).map(|p| region.to_global(p)))
+            .collect();
+        Layout::from_partial_assignment(&assignment, region.device_qubits())
+    }
+
     /// Checks internal bijection consistency (used by debug assertions and
     /// property tests).
     pub fn is_consistent(&self) -> bool {
@@ -285,5 +306,26 @@ mod tests {
     #[should_panic(expected = "assigned twice")]
     fn duplicate_assignment_panics() {
         let _ = Layout::from_assignment(&[1, 1], 3);
+    }
+
+    #[test]
+    fn offset_into_lifts_local_layouts_to_global_coordinates() {
+        use crate::Region;
+        // Region {3, 5, 9} of a 12-qubit device: locals 0,1,2.
+        let region = Region::new(12, [9, 3, 5]);
+        // Local layout: q0→local2, q1→local0 (local1 free).
+        let local = Layout::from_assignment(&[2, 0], 3);
+        let global = local.offset_into(&region);
+        assert_eq!(global.n_physical(), 12);
+        assert_eq!(global.phys_of(0), Some(9));
+        assert_eq!(global.phys_of(1), Some(3));
+        assert_eq!(global.logical_at(5), None, "local free stays free");
+        assert!(global.is_free(0) && global.is_free(11));
+        assert!(global.is_consistent());
+        // Partial local layouts stay partial.
+        let partial = Layout::from_partial_assignment(&[None, Some(1)], 3);
+        let lifted = partial.offset_into(&region);
+        assert_eq!(lifted.phys_of(0), None);
+        assert_eq!(lifted.phys_of(1), Some(5));
     }
 }

@@ -3,7 +3,10 @@
 //! Hardware coupling graphs and logical↔physical layouts for the Tetris
 //! workspace. Provides the two backends of the paper's evaluation — IBM's
 //! 65-qubit heavy-hex ("ithaca") and a 64-qubit Google-Sycamore-style grid —
-//! plus line/grid/ring generators used by tests and examples.
+//! plus line/grid/ring generators used by tests and examples, and
+//! [`Region`] carving ([`CouplingGraph::carve`] /
+//! [`CouplingGraph::induced`] / [`Layout::offset_into`]) so one large chip
+//! can serve several small workloads on disjoint connected sub-devices.
 //!
 //! ```
 //! use tetris_topology::{CouplingGraph, Layout};
@@ -18,6 +21,8 @@
 
 pub mod graph;
 pub mod layout;
+pub mod region;
 
 pub use graph::CouplingGraph;
 pub use layout::Layout;
+pub use region::Region;

@@ -25,7 +25,7 @@ fn usage() -> ExitCode {
   tetris qaoa    [--nodes N] [--degree D | --edges M] [--seed S] [--qasm FILE]
   tetris compare [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
   tetris bench-suite [--quick] [--threads N] [--passes P] [--backend heavy-hex|sycamore]
-                     [--cache-dir DIR] [--cache-max-bytes B] [--out FILE]
+                     [--cache-dir DIR] [--cache-max-bytes B] [--shard] [--out FILE]
   tetris serve   [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--cache-capacity N]
                  [--cache-max-bytes B] [--job-ttl-secs S]
 
@@ -190,11 +190,14 @@ fn cmd_compare(args: &Args) -> Option<ExitCode> {
 /// prints a JSON report: per-job timings plus the engine's cache counters.
 /// With `--passes 2` (the default) the suite runs twice in-process; the
 /// second pass is served from the content-addressed cache, which the
-/// report's `cached_fraction` makes visible.
+/// report's `cached_fraction` makes visible. With `--shard` the report
+/// additionally compares a batch of small workloads compiled sequentially
+/// against a whole 130-node heavy-hex chip vs sharded onto carved regions
+/// of it (per-region utilization + wall-clock speedup).
 fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     use std::sync::Arc;
     use std::time::Instant;
-    use tetris::bench::suite::{json_report, suite_jobs, SuitePass};
+    use tetris::bench::suite::{json_report, run_shard_comparison, suite_jobs, SuitePass};
     use tetris::engine::{Engine, EngineConfig};
 
     let quick = args.flag("--quick");
@@ -252,7 +255,10 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
         });
     }
 
-    let report = json_report(engine.threads(), &report_passes);
+    let shard = args
+        .flag("--shard")
+        .then(|| run_shard_comparison(quick, threads));
+    let report = json_report(engine.threads(), &report_passes, shard.as_ref());
     match args.value("--out") {
         Some(path) => {
             std::fs::write(path, &report).expect("write report file");

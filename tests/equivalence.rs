@@ -274,6 +274,112 @@ fn disk_cache_hits_are_semantically_identical_to_fresh_compiles() {
 }
 
 #[test]
+fn sharded_batch_is_statevector_equivalent_to_whole_chip_compiles() {
+    // The sharding contract, end to end: a batch of 4 small workloads
+    // carved onto disjoint regions of one 12-qubit device must produce
+    // per-job circuits semantically identical to whole-chip compiles of
+    // the same jobs, and the merged circuit must equal the tensor product
+    // of the per-job evolutions. Every job uses pairwise-commuting blocks
+    // (XXX vs ZZI anticommute at two sites), so the emitted exponential
+    // product is order-invariant and the reference is well defined
+    // without access to the compiler's emission order.
+    use std::sync::Arc;
+    use tetris::engine::{Backend, CompileJob, Engine, EngineConfig, ShardConfig};
+    use tetris::pauli::mask::QubitMask;
+    use tetris::pauli::{PauliString, PauliTerm};
+
+    let device = Arc::new(CouplingGraph::grid(3, 4));
+    let angles = [(0.31, -0.47), (0.52, 0.23), (-0.18, 0.71), (0.44, -0.29)];
+    let jobs: Vec<CompileJob> = angles
+        .iter()
+        .enumerate()
+        .map(|(k, &(a, b))| {
+            let blocks = vec![
+                PauliBlock::new(vec![PauliTerm::new("XXX".parse().unwrap(), 1.0)], a, "x"),
+                PauliBlock::new(vec![PauliTerm::new("ZZI".parse().unwrap(), 1.0)], b, "z"),
+            ];
+            CompileJob::new(
+                format!("shardjob{k}"),
+                Backend::Tetris(TetrisConfig::default()),
+                Arc::new(Hamiltonian::new(3, blocks, format!("shardjob{k}"))),
+                device.clone(),
+            )
+        })
+        .collect();
+
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 64,
+        cache_dir: None,
+        cache_max_bytes: None,
+    });
+    // 4 × 3 qubits fill the 12-qubit grid exactly — no slack to grant.
+    let sharded = engine.compile_batch_sharded(jobs.clone(), &ShardConfig { slack: 0 });
+    assert!(sharded.results.iter().all(|r| r.error.is_none()));
+    assert!(sharded.shards[0].plan.leftover.is_empty());
+    let whole = engine.compile_batch(jobs);
+    assert!(whole.iter().all(|r| r.error.is_none()));
+
+    // The logical evolution of job k on its 3 qubits (order-invariant).
+    let logical_state = |k: usize| -> Statevector {
+        let mut sv = Statevector::zero_state(3);
+        let (a, b) = angles[k];
+        sv.apply_pauli_exp(&"XXX".parse::<PauliString>().unwrap(), a);
+        sv.apply_pauli_exp(&"ZZI".parse::<PauliString>().unwrap(), b);
+        sv
+    };
+
+    let mut union = QubitMask::empty(12);
+    for (k, (s, w)) in sharded.results.iter().zip(&whole).enumerate() {
+        let expected = logical_state(k);
+        // All-zeros input: the logical register is |000⟩ under any
+        // placement, so no initial layout is needed — only the final one.
+        for (label, result) in [("sharded", s), ("whole-chip", w)] {
+            let layout = result.output.final_layout.as_ref().expect("layout");
+            let mut physical = Statevector::zero_state(12);
+            physical.apply_circuit(&result.output.circuit);
+            let embedded = expected.embed(&layout.as_assignment(), 12);
+            assert!(
+                physical.equals_up_to_global_phase(&embedded, 1e-9),
+                "job {k} ({label}) diverges from the reference evolution"
+            );
+        }
+        // Disjointness of the merged placements, via masks.
+        let region = s.region.as_ref().expect("sharded job placed");
+        assert!(
+            union.is_disjoint_from(region.mask()),
+            "job {k} overlaps an earlier region"
+        );
+        union.union_with(region.mask());
+    }
+    assert_eq!(union.count(), 12, "regions tile the whole device");
+
+    // The merged artifact: one circuit running all four jobs at once must
+    // equal the tensor product of the per-job evolutions (logical qubits
+    // renumbered with per-job offsets, embedded under the merged layout).
+    let merged = sharded.shards[0].merged.as_ref().expect("merged");
+    let mut physical = Statevector::zero_state(12);
+    physical.apply_circuit(&merged.circuit);
+    let mut reference = Statevector::zero_state(12);
+    for (k, &(a, b)) in angles.iter().enumerate() {
+        let pad = |core: &str| -> PauliString {
+            let mut s = "I".repeat(3 * k);
+            s.push_str(core);
+            s.push_str(&"I".repeat(12 - 3 * k - 3));
+            s.parse().unwrap()
+        };
+        reference.apply_pauli_exp(&pad("XXX"), a);
+        reference.apply_pauli_exp(&pad("ZZI"), b);
+    }
+    let layout = merged.final_layout.as_ref().expect("merged layout");
+    let embedded = reference.embed(&layout.as_assignment(), 12);
+    assert!(
+        physical.equals_up_to_global_phase(&embedded, 1e-9),
+        "merged circuit diverges from the tensor-product reference"
+    );
+}
+
+#[test]
 fn bridging_keeps_ancillas_clean() {
     // Compile a sparse workload on a device with many free qubits; then
     // explicitly Reset every free physical qubit at the end — the

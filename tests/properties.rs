@@ -381,6 +381,106 @@ fn qubit_mask_set_algebra_matches_reference_model() {
 }
 
 #[test]
+fn carved_regions_are_connected_disjoint_and_sized() {
+    use tetris::pauli::mask::QubitMask;
+    use tetris::topology::Region;
+
+    let devices = [
+        CouplingGraph::line(32),
+        CouplingGraph::grid(6, 6),
+        CouplingGraph::heavy_hex(7, 16), // the 130-node service device
+        CouplingGraph::sycamore_64(),
+        CouplingGraph::heavy_hex_65(),
+        CouplingGraph::ring(24),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xca54e);
+    for graph in &devices {
+        let n = graph.n_qubits();
+        for _ in 0..CASES / 4 {
+            // Random request: 2–5 regions totalling at most half the
+            // device (a load the carver must always be able to place).
+            let k = rng.gen_range(2..6usize);
+            let sizes: Vec<usize> = (0..k).map(|_| rng.gen_range(1..=n / 10)).collect();
+            let regions = graph
+                .carve(&sizes)
+                .unwrap_or_else(|| panic!("carve {sizes:?} on {}", graph.name()));
+            assert_eq!(regions.len(), sizes.len());
+            let mut union = QubitMask::empty(n);
+            for (region, &size) in regions.iter().zip(&sizes) {
+                assert_eq!(region.len(), size, "requested size on {}", graph.name());
+                assert_eq!(region.device_qubits(), n);
+                assert!(
+                    graph.is_region_connected(region),
+                    "disconnected region on {}",
+                    graph.name()
+                );
+                assert!(
+                    union.is_disjoint_from(region.mask()),
+                    "overlapping regions on {}",
+                    graph.name()
+                );
+                union.union_with(region.mask());
+                // Local↔global maps are mutually inverse and in range.
+                for local in 0..region.len() {
+                    let global = region.to_global(local);
+                    assert!(global < n);
+                    assert_eq!(region.to_local(global), Some(local));
+                }
+            }
+            assert_eq!(union.count(), sizes.iter().sum::<usize>());
+        }
+        // The induced subgraph of any carved region has the region's size
+        // and only in-region edges (checked through the local index maps).
+        let regions = graph.carve(&[n / 8 + 1, n / 8 + 1]).expect("carve pair");
+        for region in &regions {
+            let sub = graph.induced(region);
+            assert_eq!(sub.n_qubits(), region.len());
+            for (lu, lv) in sub.edges() {
+                assert!(
+                    graph.are_adjacent(region.to_global(lu), region.to_global(lv)),
+                    "induced edge not in {}",
+                    graph.name()
+                );
+            }
+        }
+        let _ = Region::new(n, []); // empty regions are representable
+    }
+}
+
+#[test]
+fn offset_layouts_preserve_routing_compliance() {
+    // A circuit routed on an induced subgraph, relabeled through the
+    // region, must be compliant on the big graph — the relabeling half of
+    // the sharding contract, independent of the engine.
+    let mut rng = StdRng::seed_from_u64(0x0f5e7);
+    let graph = CouplingGraph::heavy_hex(7, 16);
+    for _ in 0..CASES / 8 {
+        let size = rng.gen_range(4..10usize);
+        let region = &graph.carve(&[size]).expect("carve")[0];
+        let sub = graph.induced(region);
+        let logical = rand_circuit(&mut rng, size.min(4), 20);
+        let routed = route(
+            &logical,
+            &sub,
+            Layout::trivial(size.min(4), size),
+            &RouterConfig::default(),
+        );
+        let mut lifted = Circuit::new(graph.n_qubits());
+        for gate in routed.circuit.gates() {
+            lifted.push(gate.map_qubits(|q| region.to_global(q)));
+        }
+        assert!(lifted.is_hardware_compliant(&graph));
+        let global = routed.final_layout.offset_into(region);
+        assert!(global.is_consistent());
+        for q in 0..global.n_logical() {
+            if let Some(p) = global.phys_of(q) {
+                assert!(region.mask().contains(p), "layout escapes the region");
+            }
+        }
+    }
+}
+
+#[test]
 fn encoders_anticommute() {
     let mut rng = StdRng::seed_from_u64(0xaa);
     for _ in 0..CASES {
