@@ -4,6 +4,7 @@ use std::time::Instant;
 use tetris_circuit::{cancel_gates_commutative, Circuit, Metrics};
 use tetris_core::stats::CompileStats;
 use tetris_core::tree::{NodeKind, SynthesisTree};
+use tetris_obs::trace::{self, Stage};
 use tetris_router::{route, RouterConfig};
 use tetris_topology::{CouplingGraph, Layout};
 
@@ -62,22 +63,24 @@ pub fn route_and_finish(
     let mut canceled_cnots = 0;
     let mut canceled_1q = 0;
     if pre_route_cancel {
-        let r = cancel_gates_commutative(&mut logical);
+        let r = trace::timed(Stage::Optimize, || cancel_gates_commutative(&mut logical));
         canceled_cnots += r.removed_cnots;
         canceled_1q += r.removed_1q;
     }
-    let routed = route(
-        &logical,
-        graph,
-        Layout::trivial(logical.n_qubits(), graph.n_qubits()),
-        &RouterConfig::default(),
-    );
+    let routed = trace::timed(Stage::Routing, || {
+        route(
+            &logical,
+            graph,
+            Layout::trivial(logical.n_qubits(), graph.n_qubits()),
+            &RouterConfig::default(),
+        )
+    });
     let final_layout = routed.final_layout;
     let mut circuit = routed.circuit;
     let swaps_inserted = routed.swap_count;
     let mut swaps_final = swaps_inserted;
     if post_route_cancel {
-        let r = cancel_gates_commutative(&mut circuit);
+        let r = trace::timed(Stage::Optimize, || cancel_gates_commutative(&mut circuit));
         canceled_cnots += r.removed_cnots;
         canceled_1q += r.removed_1q;
         swaps_final -= r.removed_swaps;

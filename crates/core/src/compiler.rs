@@ -7,6 +7,7 @@ use crate::stats::CompileStats;
 use crate::synthesis::synthesize_block;
 use std::time::Instant;
 use tetris_circuit::{cancel_gates_commutative, Circuit, Metrics};
+use tetris_obs::trace::{self, Stage};
 use tetris_pauli::ir::{TetrisBlock, TetrisIr};
 use tetris_pauli::{Hamiltonian, PauliBlock};
 use tetris_topology::{CouplingGraph, Layout};
@@ -95,7 +96,7 @@ impl TetrisCompiler {
         let mut remaining = tetris_pauli::mask::QubitMask::full(blocks.len());
         let mut last: Option<usize> = None;
         while !remaining.is_empty() {
-            let next = match (self.config.scheduler, last) {
+            let next = trace::timed(Stage::Scheduling, || match (self.config.scheduler, last) {
                 (SchedulerKind::InputOrder, _) => {
                     remaining.first().expect("non-empty remaining set")
                 }
@@ -108,10 +109,13 @@ impl TetrisCompiler {
                     graph,
                     &layout,
                 ),
-            };
+            });
             remaining.remove(next);
             let b = &blocks[next];
-            let tree = synthesize_block(graph, &mut layout, &mut circuit, b, &self.config);
+            let tree = trace::timed(Stage::Clustering, || {
+                synthesize_block(graph, &mut layout, &mut circuit, b, &self.config)
+            });
+            let emit_span = trace::StageTimer::start(Stage::Synthesis);
             // Orient the block so its first string is most similar to the
             // previously emitted string — inter-block boundary gates then
             // cancel like intra-block ones.
@@ -129,6 +133,7 @@ impl TetrisCompiler {
                 _ => b.block.clone(),
             };
             emit_block(&tree, &oriented, &mut circuit);
+            emit_span.stop();
             last_string = Some(
                 oriented
                     .terms
@@ -154,7 +159,7 @@ impl TetrisCompiler {
         let mut canceled_1q = 0;
         let mut swaps_final = swaps_inserted;
         if self.config.post_optimize {
-            let report = cancel_gates_commutative(&mut circuit);
+            let report = trace::timed(Stage::Optimize, || cancel_gates_commutative(&mut circuit));
             canceled_cnots = report.removed_cnots;
             canceled_1q = report.removed_1q;
             swaps_final = swaps_inserted - report.removed_swaps;

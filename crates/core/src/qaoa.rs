@@ -27,6 +27,7 @@ use crate::stats::CompileStats;
 use crate::tree::{NodeKind, SynthesisTree};
 use std::time::Instant;
 use tetris_circuit::{cancel_gates_commutative, Circuit, Gate, Metrics};
+use tetris_obs::trace::{self, Stage};
 use tetris_pauli::ir::{TetrisBlock, TetrisIr};
 use tetris_pauli::mask::QubitMask;
 use tetris_topology::{CouplingGraph, Layout};
@@ -89,8 +90,8 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
         .collect();
     let pairs: Vec<(usize, usize)> = terms.iter().filter_map(|t| t.v.map(|v| (t.u, v))).collect();
 
-    // 1. Placement.
-    let initial_layout = place(graph, n, &pairs, 0x7e7215);
+    // 1. Placement (the QAOA analogue of cluster formation).
+    let initial_layout = trace::timed(Stage::Clustering, || place(graph, n, &pairs, 0x7e7215));
     let mut layout = initial_layout.clone();
     let mut circuit = Circuit::new(graph.n_qubits());
     let mut original_cnots = 0usize;
@@ -136,6 +137,10 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
         emitted_blocks.push(b.block.clone());
     };
 
+    // The emission loop interleaves executable-first scheduling with the
+    // SWAP-vs-bridge lookahead; its wall time is movement-dominated, so it
+    // is attributed to routing as one span.
+    let routing_span = trace::StageTimer::start(Stage::Routing);
     while !remaining.is_empty() {
         // Emit every currently-executable term (weight-1 terms always are).
         // `remaining` stays an order-bearing Vec on purpose: the
@@ -246,13 +251,15 @@ pub fn compile_qaoa(ir: &TetrisIr, graph: &CouplingGraph, config: &TetrisConfig)
         }
     }
 
+    routing_span.stop();
+
     let emitted_cnots = circuit.raw_cnot_count();
     let swaps_inserted = circuit.swap_count();
     let mut canceled_cnots = 0;
     let mut canceled_1q = 0;
     let mut swaps_final = swaps_inserted;
     if config.post_optimize {
-        let report = cancel_gates_commutative(&mut circuit);
+        let report = trace::timed(Stage::Optimize, || cancel_gates_commutative(&mut circuit));
         canceled_cnots = report.removed_cnots;
         canceled_1q = report.removed_1q;
         swaps_final -= report.removed_swaps;

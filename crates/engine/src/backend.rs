@@ -4,6 +4,7 @@
 use tetris_baselines::{generic, max_cancel, paulihedral, pcoast_like, qaoa_2qan};
 use tetris_circuit::Circuit;
 use tetris_core::{CompileStats, TetrisCompiler, TetrisConfig};
+use tetris_obs::StageTimings;
 use tetris_pauli::fingerprint::Fingerprint64;
 use tetris_pauli::Hamiltonian;
 use tetris_topology::{CouplingGraph, Layout};
@@ -22,6 +23,15 @@ pub struct EngineOutput {
     pub stats: CompileStats,
     /// Final logical→physical layout, when the backend tracks one.
     pub final_layout: Option<Layout>,
+    /// Per-stage wall-time breakdown of the compile that produced this
+    /// output, filled in by the engine worker (all zeros for compiles run
+    /// outside the engine, or with observability disabled). Persisted by
+    /// the disk codec, so a cache hit still reports where the original
+    /// compile spent its time. Excluded from [`stats_digest`] — wall
+    /// clocks are not part of the deterministic output.
+    ///
+    /// [`stats_digest`]: EngineOutput::stats_digest
+    pub stages: StageTimings,
 }
 
 impl EngineOutput {
@@ -149,6 +159,7 @@ impl CompileBackend for Backend {
                     circuit: r.circuit,
                     stats: r.stats,
                     final_layout: Some(r.final_layout),
+                    stages: StageTimings::default(),
                 }
             }
             Backend::Paulihedral { post_optimize } => {
@@ -170,6 +181,7 @@ fn from_baseline(r: tetris_baselines::BaselineResult) -> EngineOutput {
         circuit: r.circuit,
         stats: r.stats,
         final_layout: r.final_layout,
+        stages: StageTimings::default(),
     }
 }
 

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use tetris_obs::trace::{self, Stage};
 
 /// Cumulative cache counters, per tier. Cheap to read at any time; the
 /// engine's JSON report embeds them.
@@ -164,7 +165,7 @@ impl ResultCache {
         // Fall through to disk outside the map lock: decoding a large
         // circuit must not serialize other workers' memory lookups.
         let disk = self.disk.as_ref()?;
-        let output = Arc::new(disk.load(key)?);
+        let output = Arc::new(trace::timed(Stage::DiskIo, || disk.load(key))?);
         self.insert_in_memory(key, output.clone());
         Some(output)
     }
@@ -176,7 +177,7 @@ impl ResultCache {
     pub fn insert(&self, key: u64, output: EngineOutput) -> Arc<EngineOutput> {
         let output = Arc::new(output);
         if let Some(disk) = &self.disk {
-            disk.store(key, &output);
+            trace::timed(Stage::DiskIo, || disk.store(key, &output));
         }
         self.insert_in_memory(key, output.clone());
         output
@@ -246,6 +247,7 @@ mod tests {
                 ..Default::default()
             },
             final_layout: None,
+            stages: Default::default(),
         }
     }
 

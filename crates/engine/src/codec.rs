@@ -6,16 +6,20 @@
 //!
 //! ```text
 //! magic   b"TEOC"                      4 bytes
-//! version u16                          (currently 1)
-//! payload compiler, circuit, stats, layout (see below)
+//! version u16                          (currently 2)
+//! payload compiler, circuit, stats, layout, stages (see below)
 //! check   u64 FNV-1a of everything above
 //! ```
 //!
 //! The payload encodes, in order: the compiler name (length-prefixed
 //! UTF-8), the circuit (register width, gate count, then one opcode byte
 //! plus operands per gate, with `Rz` carrying its IEEE-754 angle), every
-//! [`CompileStats`] field, and the optional final [`Layout`] as a
-//! logical→physical assignment.
+//! [`CompileStats`] field, the optional final [`Layout`] as a
+//! logical→physical assignment, and (new in version 2) an optional
+//! per-stage compile-time breakdown ([`StageTimings`]) as a count-prefixed
+//! run of f64 seconds in [`tetris_obs::trace::Stage::ALL`] order — flagged
+//! absent when nothing was recorded, so observability-off streams carry
+//! one extra byte.
 //!
 //! Decoding is *total*: any truncated, bit-flipped or foreign file yields a
 //! [`CodecError`], never a panic — the disk tier turns every error into a
@@ -28,6 +32,8 @@
 use crate::backend::EngineOutput;
 use tetris_circuit::{Circuit, Gate, Metrics};
 use tetris_core::CompileStats;
+use tetris_obs::trace::N_STAGES;
+use tetris_obs::StageTimings;
 use tetris_pauli::fingerprint::Fingerprint64;
 use tetris_topology::Layout;
 
@@ -36,7 +42,8 @@ pub const MAGIC: [u8; 4] = *b"TEOC";
 
 /// Current stream version. Bump on any layout change; old files then
 /// decode to [`CodecError::UnsupportedVersion`] and are recompiled.
-pub const VERSION: u16 = 1;
+/// Version 2 added the optional stage-timing section.
+pub const VERSION: u16 = 2;
 
 /// Why a byte stream failed to decode. All variants are recoverable: the
 /// disk tier treats every one as a cache miss.
@@ -189,6 +196,19 @@ pub fn encode_output(output: &EngineOutput) -> Vec<u8> {
                     None => put_u32(&mut out, UNPLACED),
                 }
             }
+        }
+    }
+
+    // Stage timings (v2). The count prefix lets a hypothetical reader of
+    // a stream with more stages than it knows skip cleanly; this build
+    // only accepts its own count.
+    if output.stages.is_zero() {
+        put_u8(&mut out, 0);
+    } else {
+        put_u8(&mut out, 1);
+        put_u32(&mut out, N_STAGES as u32);
+        for &secs in output.stages.values() {
+            put_f64(&mut out, secs);
         }
     }
 
@@ -356,6 +376,26 @@ pub fn decode_output(bytes: &[u8]) -> Result<EngineOutput, CodecError> {
         _ => return Err(CodecError::Invalid("bad layout flag")),
     };
 
+    // Stage timings (v2).
+    let stages = match r.u8()? {
+        0 => StageTimings::default(),
+        1 => {
+            if r.u32()? as usize != N_STAGES {
+                return Err(CodecError::Invalid("stage count"));
+            }
+            let mut secs = [0f64; N_STAGES];
+            for slot in &mut secs {
+                let v = r.f64()?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(CodecError::Invalid("stage seconds"));
+                }
+                *slot = v;
+            }
+            StageTimings::from_values(secs)
+        }
+        _ => return Err(CodecError::Invalid("bad stages flag")),
+    };
+
     if r.pos != content.len() {
         return Err(CodecError::Invalid("trailing bytes"));
     }
@@ -365,12 +405,23 @@ pub fn decode_output(bytes: &[u8]) -> Result<EngineOutput, CodecError> {
         circuit,
         stats,
         final_layout,
+        stages,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use tetris_obs::trace::Stage;
+
+    fn sample_stages() -> StageTimings {
+        let mut t = StageTimings::default();
+        t.add(Stage::Clustering, 0.25);
+        t.add(Stage::Synthesis, 0.5);
+        t.add(Stage::Other, 0.0625);
+        t
+    }
 
     fn sample() -> EngineOutput {
         let mut circuit = Circuit::new(4);
@@ -400,6 +451,7 @@ mod tests {
                 compile_seconds: 0.125,
             },
             final_layout: Some(Layout::from_assignment(&[2, 0, 3], 4)),
+            stages: sample_stages(),
         }
     }
 
@@ -412,8 +464,24 @@ mod tests {
         assert_eq!(decoded.circuit, original.circuit);
         assert_eq!(decoded.stats, original.stats);
         assert_eq!(decoded.final_layout, original.final_layout);
+        assert_eq!(decoded.stages, original.stages);
         // Re-encoding reproduces the bytes exactly.
         assert_eq!(encode_output(&decoded), bytes);
+    }
+
+    #[test]
+    fn zero_stages_encode_as_absent() {
+        let mut o = sample();
+        o.stages = StageTimings::default();
+        let bytes = encode_output(&o);
+        let decoded = decode_output(&bytes).expect("decodes");
+        assert!(decoded.stages.is_zero());
+        // The section costs exactly one flag byte when nothing was
+        // recorded, versus 1 + 4 + 11×8 when something was.
+        assert_eq!(
+            encode_output(&sample()).len() - bytes.len(),
+            4 + N_STAGES * 8
+        );
     }
 
     #[test]
@@ -462,7 +530,7 @@ mod tests {
     #[test]
     fn future_version_is_rejected_not_misread() {
         let mut bytes = encode_output(&sample());
-        bytes[4] = 2; // version low byte
+        bytes[4] = 3; // version low byte
         bytes[5] = 0;
         // Fix up the checksum so only the version differs.
         let content_len = bytes.len() - 8;
@@ -472,7 +540,25 @@ mod tests {
         bytes[content_len..].copy_from_slice(&sum);
         assert_eq!(
             decode_output(&bytes),
-            Err(CodecError::UnsupportedVersion(2))
+            Err(CodecError::UnsupportedVersion(3))
+        );
+    }
+
+    #[test]
+    fn past_version_is_rejected_for_recompilation() {
+        // A v1 stream (no stages section) must not be misread as v2: the
+        // disk tier treats it as a miss and recompiles, which is the
+        // sanctioned migration path.
+        let mut bytes = encode_output(&sample());
+        bytes[4] = 1;
+        let content_len = bytes.len() - 8;
+        let mut h = Fingerprint64::new();
+        h.write_bytes(&bytes[..content_len]);
+        let sum = h.finish().to_le_bytes();
+        bytes[content_len..].copy_from_slice(&sum);
+        assert_eq!(
+            decode_output(&bytes),
+            Err(CodecError::UnsupportedVersion(1))
         );
     }
 

@@ -298,6 +298,7 @@ mod tests {
             circuit,
             stats: Default::default(),
             final_layout: None,
+            stages: Default::default(),
         }
     }
 

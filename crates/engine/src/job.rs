@@ -2,6 +2,7 @@
 
 use crate::backend::{Backend, CompileBackend, EngineOutput};
 use std::sync::Arc;
+use tetris_obs::StageTimings;
 use tetris_pauli::fingerprint::Fingerprint64;
 use tetris_pauli::Hamiltonian;
 use tetris_topology::{CouplingGraph, Region};
@@ -88,6 +89,15 @@ pub struct JobResult {
     /// region's qubits. `None` for whole-chip compiles (including sharded
     /// batches' leftover jobs).
     pub region: Option<Region>,
+    /// Per-stage timeline of this job's trip through the engine: queue
+    /// wait, cache lookup (including any disk IO it triggered), then — on
+    /// a miss — the compile stages and the disk write-back. All zeros when
+    /// observability is disabled ([`tetris_obs::set_enabled`]) or on the
+    /// serial [`CompileJob::run`] path. Note the distinction from
+    /// [`EngineOutput::stages`]: that one records the *original* compile's
+    /// breakdown (possibly from a previous process, via the disk cache),
+    /// while this field records what happened to *this* request.
+    pub stages: StageTimings,
     /// The compilation output (shared with the cache).
     pub output: Arc<EngineOutput>,
 }

@@ -33,6 +33,15 @@
 //!   compiles against its induced subgraph on the same pool, comes back
 //!   relabeled into global coordinates, and the group merges into one
 //!   combined circuit cached under a region-fingerprinted key.
+//! * **Observability** (via [`tetris_obs`]): every job records a per-stage
+//!   wall-time timeline ([`JobResult::stages`] for the request,
+//!   [`EngineOutput::stages`] for the original compile — the latter
+//!   persisted by the disk codec), workers feed the process-wide metrics
+//!   registry (`tetris_jobs_completed_total`, `tetris_engine_seconds`,
+//!   `tetris_stage_seconds{stage=…}`, shard counters) and a bounded ring
+//!   of recent trace events. Disabled wholesale with
+//!   [`tetris_obs::set_enabled`]`(false)`, which reduces the hot path to
+//!   a few branches.
 //!
 //! ```
 //! use std::sync::Arc;

@@ -13,6 +13,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use tetris_obs::trace::{self, Stage, StageTimings};
+use tetris_obs::{Counter, Histogram};
 
 /// Engine sizing.
 #[derive(Debug, Clone)]
@@ -53,6 +55,71 @@ struct WorkItem {
     key: u64,
     job: CompileJob,
     reply: Sender<JobResult>,
+    /// Submission instant — the worker's dequeue time minus this is the
+    /// job's [`Stage::QueueWait`].
+    submitted_at: Instant,
+}
+
+/// Pre-resolved handles into the global metrics registry, looked up once
+/// per engine so the per-job hot path is a handful of relaxed atomics.
+#[derive(Debug)]
+struct PoolMetrics {
+    /// `tetris_jobs_completed_total{cached="true"}`.
+    jobs_hit: Counter,
+    /// `tetris_jobs_completed_total{cached="false"}`.
+    jobs_miss: Counter,
+    /// `tetris_job_errors_total`.
+    errors: Counter,
+    /// `tetris_engine_seconds` — per-job engine wall (queue wait excluded).
+    engine_seconds: Histogram,
+    /// `tetris_stage_seconds{stage=…}`, indexed by [`Stage::index`].
+    stage_seconds: Vec<Histogram>,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        let g = tetris_obs::global();
+        PoolMetrics {
+            jobs_hit: g.counter("tetris_jobs_completed_total", &[("cached", "true")]),
+            jobs_miss: g.counter("tetris_jobs_completed_total", &[("cached", "false")]),
+            errors: g.counter("tetris_job_errors_total", &[]),
+            engine_seconds: g.histogram("tetris_engine_seconds", &[]),
+            stage_seconds: Stage::ALL
+                .iter()
+                .map(|s| g.histogram("tetris_stage_seconds", &[("stage", s.name())]))
+                .collect(),
+        }
+    }
+
+    /// Records a finished job into the counters, the latency and per-stage
+    /// histograms, and the trace ring. No-op while observability is off.
+    fn observe(&self, r: &JobResult) {
+        if !tetris_obs::enabled() {
+            return;
+        }
+        if r.cached {
+            self.jobs_hit.inc();
+        } else {
+            self.jobs_miss.inc();
+        }
+        if r.error.is_some() {
+            self.errors.inc();
+        }
+        self.engine_seconds.observe(r.engine_seconds);
+        for (stage, secs) in r.stages.iter() {
+            if secs > 0.0 {
+                self.stage_seconds[stage.index()].observe(secs);
+            }
+        }
+        trace::push_event(trace::event_now(
+            r.name.as_str(),
+            r.compiler.as_str(),
+            r.cached,
+            r.error.is_some(),
+            r.engine_seconds,
+            r.stages,
+        ));
+    }
 }
 
 /// Runs a job, converting a backend panic (e.g. a workload wider than the
@@ -77,6 +144,74 @@ fn failed_output(job: &CompileJob) -> EngineOutput {
         circuit: tetris_circuit::Circuit::new(0),
         stats: Default::default(),
         final_layout: None,
+        stages: StageTimings::default(),
+    }
+}
+
+/// The shared lookup → compile → write-back body of the worker loop and
+/// the duplicate-resolution path, with stage attribution: cache-lookup
+/// wall (minus any disk IO the lookup triggered, which [`crate::disk`]
+/// attributes to [`Stage::DiskIo`] itself), then on a miss the compile
+/// stages — with the un-instrumented remainder attributed to
+/// [`Stage::Other`] so the stage walls always sum to the compile wall —
+/// and the disk write-back. Queue wait is the caller's to add: only the
+/// worker has a submission instant. Returns all zeros for `stages` while
+/// observability is disabled.
+fn execute(
+    job: &CompileJob,
+    key: u64,
+    cache: &ResultCache,
+) -> (Arc<EngineOutput>, bool, Option<String>, StageTimings) {
+    let on = tetris_obs::enabled();
+    let mut stages = StageTimings::default();
+
+    trace::begin_scope();
+    let t_lookup = Instant::now();
+    let hit = cache.get(key);
+    let lookup_wall = t_lookup.elapsed().as_secs_f64();
+    let lookup = trace::take_scope();
+    if on {
+        stages.merge(&lookup);
+        stages.add(
+            Stage::CacheLookup,
+            (lookup_wall - lookup.get(Stage::DiskIo)).max(0.0),
+        );
+    }
+
+    match hit {
+        Some(output) => (output, true, None, stages),
+        None => {
+            trace::begin_scope();
+            let t_compile = Instant::now();
+            let compiled = run_guarded(job);
+            let compile_wall = t_compile.elapsed().as_secs_f64();
+            let mut compile = trace::take_scope();
+            if on {
+                compile.add(Stage::Other, (compile_wall - compile.total()).max(0.0));
+            }
+            match compiled {
+                Ok(mut fresh) => {
+                    // The compile breakdown travels with the artifact (and
+                    // through the disk codec), so later cache hits can
+                    // still report where the original compile spent time.
+                    fresh.stages = compile;
+                    trace::begin_scope();
+                    let output = cache.insert(key, fresh);
+                    let store = trace::take_scope();
+                    if on {
+                        stages.merge(&compile);
+                        stages.merge(&store);
+                    }
+                    (output, false, None, stages)
+                }
+                Err(msg) => {
+                    if on {
+                        stages.merge(&compile);
+                    }
+                    (Arc::new(failed_output(job)), false, Some(msg), stages)
+                }
+            }
+        }
     }
 }
 
@@ -88,6 +223,7 @@ pub struct Engine {
     queue: Option<Sender<WorkItem>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    metrics: Arc<PoolMetrics>,
 }
 
 impl Engine {
@@ -108,13 +244,15 @@ impl Engine {
             }
             None => ResultCache::new(config.cache_capacity),
         });
+        let metrics = Arc::new(PoolMetrics::new());
         let (tx, rx) = channel::<WorkItem>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let cache = Arc::clone(&cache);
-                std::thread::spawn(move || worker_loop(&rx, &cache))
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(&rx, &cache, &metrics))
             })
             .collect();
         Engine {
@@ -122,6 +260,7 @@ impl Engine {
             queue: Some(tx),
             workers,
             threads,
+            metrics,
         }
     }
 
@@ -144,6 +283,14 @@ impl Engine {
     /// region-fingerprinted keys alongside the per-job entries).
     pub(crate) fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// Looks up a cached artifact by raw cache key — the read path behind
+    /// the server's `GET /shard/<key>` route. Whole-chip job results and
+    /// sharded merged artifacts share one namespace; the lookup counts in
+    /// the cache statistics like any other.
+    pub fn cached_output(&self, key: u64) -> Option<Arc<EngineOutput>> {
+        self.cache.get(key)
     }
 
     /// Compiles a batch, returning one [`JobResult`] per job in submission
@@ -181,6 +328,7 @@ impl Engine {
                             key,
                             job,
                             reply: reply_tx.clone(),
+                            submitted_at: Instant::now(),
                         })
                         .expect("workers alive until drop");
                     submitted += 1;
@@ -201,19 +349,12 @@ impl Engine {
         }
         for (index, key, job) in duplicates {
             let t0 = Instant::now();
-            let (output, cached, error) = match self.cache.get(key) {
-                Some(hit) => (hit, true, None),
-                None => {
-                    // Cache too small to retain the first occurrence (or
-                    // capacity 0, or the first occurrence failed): fall
-                    // back to compiling in place.
-                    match run_guarded(&job) {
-                        Ok(fresh) => (self.cache.insert(key, fresh), false, None),
-                        Err(msg) => (Arc::new(failed_output(&job)), false, Some(msg)),
-                    }
-                }
-            };
-            slots[index] = Some(JobResult {
+            // Usually a straight cache hit; when the cache was too small
+            // to retain the first occurrence (or capacity 0, or the first
+            // occurrence failed), `execute` falls back to compiling in
+            // place.
+            let (output, cached, error, stages) = execute(&job, key, &self.cache);
+            let result = JobResult {
                 index,
                 name: job.name,
                 compiler: job.backend.name().to_string(),
@@ -222,8 +363,11 @@ impl Engine {
                 engine_seconds: t0.elapsed().as_secs_f64(),
                 error,
                 region: None,
+                stages,
                 output,
-            });
+            };
+            self.metrics.observe(&result);
+            slots[index] = Some(result);
         }
         slots
             .into_iter()
@@ -242,7 +386,7 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<WorkItem>>, cache: &ResultCache) {
+fn worker_loop(rx: &Mutex<Receiver<WorkItem>>, cache: &ResultCache, metrics: &PoolMetrics) {
     loop {
         // Hold the lock only for the dequeue, not the compile.
         let item = match rx.lock().expect("queue lock").recv() {
@@ -251,16 +395,16 @@ fn worker_loop(rx: &Mutex<Receiver<WorkItem>>, cache: &ResultCache) {
         };
         let t0 = Instant::now();
         let key = item.key;
-        let (output, cached, error) = match cache.get(key) {
-            Some(hit) => (hit, true, None),
-            None => match run_guarded(&item.job) {
-                Ok(fresh) => (cache.insert(key, fresh), false, None),
-                // Failures are reported, not cached: a panic may be
-                // environmental, and a placeholder must never satisfy a
-                // later lookup of the same content.
-                Err(msg) => (Arc::new(failed_output(&item.job)), false, Some(msg)),
-            },
-        };
+        // Failures are reported, not cached: a panic may be environmental,
+        // and a placeholder must never satisfy a later lookup of the same
+        // content. `execute` upholds this.
+        let (output, cached, error, mut stages) = execute(&item.job, key, cache);
+        if tetris_obs::enabled() {
+            stages.add(
+                Stage::QueueWait,
+                t0.duration_since(item.submitted_at).as_secs_f64(),
+            );
+        }
         let result = JobResult {
             index: item.index,
             name: item.job.name,
@@ -270,8 +414,10 @@ fn worker_loop(rx: &Mutex<Receiver<WorkItem>>, cache: &ResultCache) {
             engine_seconds: t0.elapsed().as_secs_f64(),
             error,
             region: None,
+            stages,
             output,
         };
+        metrics.observe(&result);
         // The batch may have been abandoned; dropping the result is fine.
         let _ = item.reply.send(result);
     }

@@ -24,7 +24,10 @@ use crate::backend::EngineOutput;
 use crate::job::{CompileJob, JobResult};
 use crate::pool::Engine;
 use std::sync::Arc;
+use std::time::Instant;
 use tetris_core::CompileStats;
+use tetris_obs::trace::Stage;
+use tetris_obs::StageTimings;
 use tetris_pauli::fingerprint::Fingerprint64;
 use tetris_topology::{CouplingGraph, Region};
 
@@ -189,6 +192,9 @@ fn relabel_output(local: &EngineOutput, region: &Region) -> EngineOutput {
         circuit,
         stats: local.stats,
         final_layout: local.final_layout.as_ref().map(|l| l.offset_into(region)),
+        // Relabeling is presentation, not compilation: the original
+        // compile's breakdown travels with the artifact unchanged.
+        stages: local.stages,
     }
 }
 
@@ -214,9 +220,13 @@ fn shard_cache_key(jobs: &[CompileJob], plan: &ShardPlan) -> u64 {
 fn merge_outputs(members: &[(&JobResult, &Region, usize)], device_qubits: usize) -> EngineOutput {
     let mut circuit = tetris_circuit::Circuit::new(device_qubits);
     let mut stats = CompileStats::default();
+    let mut stages = StageTimings::default();
     let mut assignment: Vec<Option<usize>> = Vec::new();
     for (result, _, width) in members {
         let out = &result.output;
+        // The merged artifact's breakdown aggregates every member
+        // compile's stages; the caller adds the merge wall itself.
+        stages.merge(&out.stages);
         circuit.extend_from(&out.circuit);
         let s = &out.stats;
         stats.original_cnots += s.original_cnots;
@@ -249,6 +259,7 @@ fn merge_outputs(members: &[(&JobResult, &Region, usize)], device_qubits: usize)
             &assignment,
             device_qubits,
         )),
+        stages,
     }
 }
 
@@ -267,7 +278,17 @@ impl Engine {
         jobs: Vec<CompileJob>,
         config: &ShardConfig,
     ) -> ShardedBatch {
+        let on = tetris_obs::enabled();
+        let t_carve = Instant::now();
         let plans = plan_shards(&jobs, config);
+        if on {
+            // Carving happens once for the whole batch (all device
+            // groups), so it lands in the stage histogram once rather
+            // than being smeared across the per-shard merged artifacts.
+            tetris_obs::global()
+                .histogram("tetris_stage_seconds", &[("stage", Stage::Carve.name())])
+                .observe(t_carve.elapsed().as_secs_f64());
+        }
 
         // One flat sub-batch: induced-subgraph jobs for placed members,
         // the original jobs for leftovers. `origin[k]` maps sub-batch
@@ -326,11 +347,35 @@ impl Engine {
                     match self.cache().get(cache_key) {
                         Some(hit) => (Some(hit), true),
                         None => {
-                            let built = merge_outputs(&members, plan.graph.n_qubits());
+                            let t_merge = Instant::now();
+                            let mut built = merge_outputs(&members, plan.graph.n_qubits());
+                            if on {
+                                let merge_secs = t_merge.elapsed().as_secs_f64();
+                                built.stages.add(Stage::Merge, merge_secs);
+                                tetris_obs::global()
+                                    .histogram(
+                                        "tetris_stage_seconds",
+                                        &[("stage", Stage::Merge.name())],
+                                    )
+                                    .observe(merge_secs);
+                            }
                             (Some(self.cache().insert(cache_key, built)), false)
                         }
                     }
                 };
+                if on {
+                    let g = tetris_obs::global();
+                    g.counter("tetris_shard_plans_total", &[]).inc();
+                    g.counter("tetris_shard_jobs_total", &[("placed", "true")])
+                        .add(plan.members.len() as u64);
+                    g.counter("tetris_shard_jobs_total", &[("placed", "false")])
+                        .add(plan.leftover.len() as u64);
+                    if merged.is_some() {
+                        let cached = if merged_cached { "true" } else { "false" };
+                        g.counter("tetris_shard_merges_total", &[("cached", cached)])
+                            .inc();
+                    }
+                }
                 ShardReport {
                     plan,
                     cache_key,

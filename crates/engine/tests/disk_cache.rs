@@ -9,6 +9,8 @@ use tetris_engine::{
     decode_output, encode_output, Backend, CompileJob, DiskCache, Engine, EngineConfig,
     EngineOutput,
 };
+use tetris_obs::trace::Stage;
+use tetris_obs::StageTimings;
 use tetris_pauli::fingerprint::Fingerprint64;
 use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
 use tetris_topology::{CouplingGraph, Layout};
@@ -53,18 +55,30 @@ fn golden_subject() -> EngineOutput {
             compile_seconds: 0.0625, // exactly representable
         },
         final_layout: Some(Layout::from_assignment(&[4, 2, 0, 1, 3], 5)),
+        stages: golden_stages(),
     }
 }
 
-/// FNV-1a digest of `encode_output(golden_subject())`, captured when the
-/// version-1 stream layout was frozen. If this moves, the codec changed
-/// byte layout without bumping `codec::VERSION` — old cache directories
-/// would silently stop hitting (or worse).
-const GOLDEN_STREAM_DIGEST: u64 = 0x3231_748f_c17b_ebde;
+/// Exactly-representable stage walls so the golden byte stream is
+/// platform-independent.
+fn golden_stages() -> StageTimings {
+    let mut t = StageTimings::default();
+    t.add(Stage::CacheLookup, 0.015625);
+    t.add(Stage::Clustering, 0.25);
+    t.add(Stage::Synthesis, 0.5);
+    t.add(Stage::DiskIo, 0.03125);
+    t
+}
 
-/// First bytes of the version-1 frame: magic + version + the length-
+/// FNV-1a digest of `encode_output(golden_subject())`, captured when the
+/// version-2 stream layout (stage-timing section) was frozen. If this
+/// moves, the codec changed byte layout without bumping `codec::VERSION` —
+/// old cache directories would silently stop hitting (or worse).
+const GOLDEN_STREAM_DIGEST: u64 = 0x55b5_d1a0_70b7_5be1;
+
+/// First bytes of the version-2 frame: magic + version + the length-
 /// prefixed compiler name.
-const GOLDEN_PREFIX: &[u8] = b"TEOC\x01\x00\x06\x00\x00\x00Golden";
+const GOLDEN_PREFIX: &[u8] = b"TEOC\x02\x00\x06\x00\x00\x00Golden";
 
 #[test]
 fn golden_stream_bytes_are_pinned() {

@@ -1,0 +1,44 @@
+//! # tetris-obs
+//!
+//! The observability layer of the Tetris workspace: a process-wide
+//! [metrics registry](metrics) and [per-job stage tracing](trace), both
+//! std-only and cheap enough to leave on by default.
+//!
+//! * **Metrics** — named counters, gauges and log-bucketed histograms
+//!   behind `Arc`-cheap handles ([`Counter`], [`Gauge`], [`Histogram`]),
+//!   registered in a global [`Registry`] and rendered as Prometheus-style
+//!   text exposition for the server's `GET /metrics` endpoint. Recording
+//!   is a relaxed atomic op; registration (the only locking path) happens
+//!   once per handle.
+//! * **Stage tracing** — a thread-local [`StageTimings`] scope
+//!   ([`trace::begin_scope`] / [`trace::take_scope`]) that deep pipeline
+//!   code records wall time into ([`trace::record`], [`trace::StageTimer`])
+//!   without any plumbing through function signatures: the engine worker
+//!   opens a scope, the compiler's scheduling/clustering/synthesis/routing
+//!   phases and the disk tier's IO land in it, and the worker folds the
+//!   result into the job's timeline. Completed jobs are additionally
+//!   pushed into a bounded in-process ring of recent [`TraceEvent`]s.
+//!
+//! The whole layer is gated by one switch ([`set_enabled`]): when off,
+//! scopes never open and recording is a single thread-local read — the
+//! bench harness uses exactly this to measure instrumentation overhead.
+//!
+//! ```
+//! use tetris_obs::{global, trace, Stage};
+//!
+//! let jobs = global().counter("demo_jobs_total", &[("kind", "example")]);
+//! trace::begin_scope();
+//! trace::record(Stage::Synthesis, 0.25);
+//! let timings = trace::take_scope();
+//! jobs.inc();
+//! assert_eq!(timings.get(Stage::Synthesis), 0.25);
+//! assert!(global().render().contains("demo_jobs_total"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{enabled, global, set_enabled, Counter, Gauge, Histogram, Registry};
+pub use trace::{Stage, StageTimings, TraceEvent, N_STAGES};

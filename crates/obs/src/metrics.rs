@@ -1,0 +1,395 @@
+//! The process-wide metrics registry.
+//!
+//! Series are identified by a name plus an ordered label set (Prometheus
+//! conventions: `tetris_cache_lookups_total{tier="memory",outcome="hit"}`).
+//! Registering a series returns a cheap `Arc`-backed handle — [`Counter`],
+//! [`Gauge`] or [`Histogram`] — whose recording operations are single
+//! relaxed atomics with no locking; the registry mutex is only taken at
+//! registration and at [`Registry::render`] time. Histograms use fixed
+//! power-of-two latency buckets from ~1 µs to 64 s (compile stages span
+//! exactly this range) and render in the cumulative `_bucket`/`_sum`/
+//! `_count` exposition shape.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of finite histogram buckets: upper bounds `2^-20 … 2^6` seconds
+/// (~1 µs to 64 s), one power of two per bucket, plus an implicit `+Inf`.
+pub const N_BUCKETS: usize = 27;
+
+/// Exponent of the smallest bucket bound (`2^MIN_EXP` seconds).
+const MIN_EXP: i32 = -20;
+
+/// The upper bound of finite bucket `i`, in seconds.
+pub fn bucket_bound(i: usize) -> f64 {
+    debug_assert!(i < N_BUCKETS);
+    f64::powi(2.0, i as i32 + MIN_EXP)
+}
+
+/// The global on/off switch for the whole observability layer. On by
+/// default; the bench harness flips it off to measure the instrumented
+/// binary's baseline cost.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns recording on or off process-wide. When off, trace scopes never
+/// open and metric recording helpers become single-branch no-ops.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the observability layer is currently recording.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for series mirrored from an external
+    /// snapshot (e.g. cache counters synced at scrape time), where the
+    /// source of truth already accumulates.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that goes up and down (in-flight requests,
+/// resident entries).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared histogram cells: per-bucket observation counts (non-cumulative
+/// internally; cumulated at render), total count, and the observation sum
+/// as f64 bits behind a CAS loop.
+#[derive(Debug)]
+pub struct HistogramCells {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// A latency histogram handle with power-of-two buckets (~1 µs … 64 s).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Records one observation of `secs`. Negative and NaN values are
+    /// clamped to 0 (they only arise from clock anomalies).
+    pub fn observe(&self, secs: f64) {
+        let secs = if secs.is_finite() && secs > 0.0 {
+            secs
+        } else {
+            0.0
+        };
+        // First bucket whose upper bound is >= secs; values past the last
+        // finite bound land only in the implicit +Inf (count/sum).
+        let idx = (0..N_BUCKETS).find(|&i| secs <= bucket_bound(i));
+        if let Some(i) = idx {
+            self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + secs).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values, seconds.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The data cell behind one registered series.
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+impl Series {
+    fn kind(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metric series. Most code uses the process-wide
+/// [`global`] instance; tests construct private registries.
+#[derive(Debug, Default)]
+pub struct Registry {
+    // Keyed by (name, rendered label set) so exposition is deterministic
+    // and series sharing a name stay adjacent for `# TYPE` grouping.
+    series: Mutex<BTreeMap<(String, String), Series>>,
+}
+
+/// Renders a label set as it appears in the exposition between braces:
+/// `k1="v1",k2="v2"` (empty for no labels). Quotes and backslashes in
+/// values are escaped; our label values are short static tokens, but the
+/// output must stay parseable regardless.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let key = (name.to_string(), render_labels(labels));
+        let mut map = self.series.lock().expect("registry lock");
+        map.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Registers (or retrieves) a counter series. Re-registering the same
+    /// name+labels returns a handle to the same cell.
+    ///
+    /// # Panics
+    /// Panics if the series was previously registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, labels, || {
+            Series::Counter(Arc::new(AtomicU64::new(0)))
+        }) {
+            Series::Counter(c) => Counter(c),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    ///
+    /// # Panics
+    /// Panics if the series was previously registered as a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, labels, || Series::Gauge(Arc::new(AtomicI64::new(0)))) {
+            Series::Gauge(g) => Gauge(g),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram series.
+    ///
+    /// # Panics
+    /// Panics if the series was previously registered as a different kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, labels, || {
+            Series::Histogram(Arc::new(HistogramCells::new()))
+        }) {
+            Series::Histogram(h) => Histogram(h),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Renders every series as Prometheus text exposition: a `# TYPE` line
+    /// per metric name, then one sample line per series (histograms expand
+    /// into cumulative `_bucket{le=…}` lines plus `_sum` and `_count`).
+    /// Output order is deterministic (name, then label set).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let map = self.series.lock().expect("registry lock");
+        let mut out = String::with_capacity(64 * map.len());
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), series) in map.iter() {
+            if last_name != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} {}", series.kind());
+                last_name = Some(name.as_str());
+            }
+            let braced = |extra: &str| -> String {
+                match (labels.is_empty(), extra.is_empty()) {
+                    (true, true) => String::new(),
+                    (true, false) => format!("{{{extra}}}"),
+                    (false, true) => format!("{{{labels}}}"),
+                    (false, false) => format!("{{{labels},{extra}}}"),
+                }
+            };
+            match series {
+                Series::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", braced(""), c.load(Ordering::Relaxed));
+                }
+                Series::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", braced(""), g.load(Ordering::Relaxed));
+                }
+                Series::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for i in 0..N_BUCKETS {
+                        cum += h.buckets[i].load(Ordering::Relaxed);
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            braced(&format!("le=\"{}\"", bucket_bound(i)))
+                        );
+                    }
+                    let count = h.count.load(Ordering::Relaxed);
+                    let _ = writeln!(out, "{name}_bucket{} {count}", braced("le=\"+Inf\""));
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        braced(""),
+                        f64::from_bits(h.sum_bits.load(Ordering::Relaxed))
+                    );
+                    let _ = writeln!(out, "{name}_count{} {count}", braced(""));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry every instrumented crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("c_total", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        let g = r.gauge("g", &[("x", "y")]);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        g.set(-3);
+        assert_eq!(g.value(), -3);
+        let text = r.render();
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total 5"));
+        assert!(text.contains("g{x=\"y\"} -3"));
+    }
+
+    #[test]
+    fn same_series_shares_the_cell_distinct_labels_do_not() {
+        let r = Registry::new();
+        let a = r.counter("c_total", &[("k", "1")]);
+        let b = r.counter("c_total", &[("k", "1")]);
+        let c = r.counter("c_total", &[("k", "2")]);
+        a.inc();
+        b.inc();
+        c.inc();
+        assert_eq!(a.value(), 2);
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn histogram_observations_land_in_the_right_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", &[]);
+        h.observe(0.5e-6); // below the first bound → bucket 0
+        h.observe(1.0); // exactly 2^0 → the le="1" bucket
+        h.observe(100.0); // beyond 64 s → only +Inf
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 101.0000005).abs() < 1e-9);
+        let text = r.render();
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{le=\"64\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        let _ = r.counter("x", &[]);
+        let _ = r.gauge("x", &[]);
+    }
+}

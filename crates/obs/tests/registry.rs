@@ -1,0 +1,155 @@
+//! Registry acceptance tests: concurrent exactness, pinned bucket
+//! boundaries, and machine-parseable exposition.
+
+use tetris_obs::metrics::{bucket_bound, N_BUCKETS};
+use tetris_obs::{Registry, Stage, StageTimings};
+
+#[test]
+fn concurrent_increments_from_8_threads_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = std::sync::Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                // Each thread registers its own handles — registration must
+                // converge on one shared cell per series.
+                let c = registry.counter("conc_total", &[("kind", "stress")]);
+                let h = registry.histogram("conc_seconds", &[]);
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.observe(1e-6 * (1 + i % 7) as f64);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no panics");
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(
+        registry
+            .counter("conc_total", &[("kind", "stress")])
+            .value(),
+        total,
+        "every increment lands exactly once"
+    );
+    let h = registry.histogram("conc_seconds", &[]);
+    assert_eq!(h.count(), total);
+    // The sum is a CAS loop over f64 bits: additions must not be lost.
+    // Values are tiny multiples of 1e-6; the expected total is exact
+    // enough to check to a tight relative tolerance.
+    let per_thread: f64 = (0..PER_THREAD).map(|i| 1e-6 * (1 + i % 7) as f64).sum();
+    let expected = per_thread * THREADS as f64;
+    assert!(
+        (h.sum() - expected).abs() / expected < 1e-9,
+        "histogram sum drifted: {} vs {expected}",
+        h.sum()
+    );
+}
+
+#[test]
+fn bucket_boundaries_are_pinned_powers_of_two() {
+    assert_eq!(N_BUCKETS, 27);
+    // Golden endpoints: ~1 µs at the bottom, 64 s at the top, exact
+    // doubling in between. These are part of the on-disk/dashboards
+    // contract — changing them re-buckets every recorded series.
+    assert_eq!(bucket_bound(0), 0.00000095367431640625); // 2^-20
+    assert_eq!(bucket_bound(10), 0.0009765625); // 2^-10 ≈ 1 ms
+    assert_eq!(bucket_bound(20), 1.0); // 2^0
+    assert_eq!(bucket_bound(26), 64.0); // 2^6
+    for i in 1..N_BUCKETS {
+        assert_eq!(bucket_bound(i), 2.0 * bucket_bound(i - 1));
+    }
+}
+
+/// Parses one exposition sample line into (series-with-labels, value).
+fn parse_sample(line: &str) -> (String, f64) {
+    let (series, value) = line.rsplit_once(' ').expect("space-separated sample");
+    (
+        series.to_string(),
+        value.parse::<f64>().expect("numeric value"),
+    )
+}
+
+#[test]
+fn exposition_parses_line_by_line() {
+    let registry = Registry::new();
+    registry.counter("jobs_total", &[("cached", "true")]).add(3);
+    registry
+        .counter("jobs_total", &[("cached", "false")])
+        .add(4);
+    registry.gauge("inflight", &[]).set(2);
+    let h = registry.histogram("request_seconds", &[("route", "/batch")]);
+    h.observe(0.0015); // ≤ 2^-9 s
+    h.observe(0.003); // ≤ 2^-8 s
+    h.observe(500.0); // beyond the last finite bucket
+
+    let text = registry.render();
+    let mut samples = std::collections::BTreeMap::new();
+    let mut type_lines = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("type name").to_string();
+            let kind = parts.next().expect("type kind").to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown kind {kind}"
+            );
+            type_lines.push(name);
+        } else {
+            assert!(!line.starts_with('#'), "only TYPE comments are emitted");
+            let (series, value) = parse_sample(line);
+            assert!(samples.insert(series, value).is_none(), "duplicate series");
+        }
+    }
+    assert_eq!(type_lines, ["inflight", "jobs_total", "request_seconds"]);
+
+    assert_eq!(samples["jobs_total{cached=\"true\"}"], 3.0);
+    assert_eq!(samples["jobs_total{cached=\"false\"}"], 4.0);
+    assert_eq!(samples["inflight"], 2.0);
+    assert_eq!(samples["request_seconds_count{route=\"/batch\"}"], 3.0);
+    assert!((samples["request_seconds_sum{route=\"/batch\"}"] - 500.0045).abs() < 1e-9);
+    // Cumulative buckets: the 2^-9 ≈ 1.95 ms bucket holds one sample, the
+    // 2^-8 bucket both, +Inf all three (the 500 s outlier).
+    assert_eq!(
+        samples["request_seconds_bucket{route=\"/batch\",le=\"0.001953125\"}"],
+        1.0
+    );
+    assert_eq!(
+        samples["request_seconds_bucket{route=\"/batch\",le=\"0.00390625\"}"],
+        2.0
+    );
+    assert_eq!(
+        samples["request_seconds_bucket{route=\"/batch\",le=\"64\"}"],
+        2.0
+    );
+    assert_eq!(
+        samples["request_seconds_bucket{route=\"/batch\",le=\"+Inf\"}"],
+        3.0
+    );
+    // Monotone non-decreasing cumulative counts, ending at _count.
+    let mut last = 0.0;
+    for i in 0..N_BUCKETS {
+        let key = format!(
+            "request_seconds_bucket{{route=\"/batch\",le=\"{}\"}}",
+            bucket_bound(i)
+        );
+        let v = samples[&key];
+        assert!(v >= last, "cumulative buckets must not decrease");
+        last = v;
+    }
+}
+
+#[test]
+fn stage_timings_survive_a_codec_style_round_trip() {
+    let mut t = StageTimings::default();
+    t.add(Stage::Clustering, 0.25);
+    t.add(Stage::DiskIo, 0.125);
+    let restored = StageTimings::from_values(*t.values());
+    assert_eq!(restored, t);
+    assert_eq!(restored.get(Stage::Clustering), 0.25);
+}

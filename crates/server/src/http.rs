@@ -27,6 +27,24 @@
 //! * `DELETE /job/<id>` — drops the record; a deleted pending job is
 //!   compiled (results are cached) but never re-enters the table.
 //! * `GET /stats` — engine sizing, per-tier cache counters and job counts.
+//! * `GET /metrics` — Prometheus text exposition of the process-wide
+//!   registry (engine counters, per-stage histograms, HTTP series), with
+//!   cache and job-table series synced from the same snapshot `/stats`
+//!   reads, so the two views agree at scrape time.
+//! * `GET /job/<id>?trace=1` — adds the job's per-stage wall-time
+//!   timeline to the result record.
+//! * `GET /trace` — the most recent completed jobs from the in-process
+//!   trace ring (`?n=<count>`, default 100).
+//! * `GET /shards` — summaries of recent shard merges (cache key, member
+//!   count, utilization); `GET /shard/<key>` — the merged whole-device
+//!   artifact stored under a 16-hex-digit shard cache key (`?qasm=1`
+//!   embeds the OpenQASM text).
+//!
+//! Every request is measured: an in-flight gauge, per-route/status-class
+//! counters (`tetris_http_requests_total`) and per-route latency
+//! histograms (`tetris_http_request_seconds`). With
+//! [`ServerConfig::trace_log`] set, every completed batch appends one
+//! JSONL record per job to the given file.
 //!
 //! Completed jobs are evicted after [`ServerConfig::job_ttl`]: every
 //! table access sweeps expired `Done` records, so a long-lived server's
@@ -36,13 +54,14 @@
 
 use crate::json::{escape, parse, Value};
 use crate::registry::Interner;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tetris_engine::{CompileJob, Engine, EngineConfig, JobResult, ShardConfig};
+use tetris_obs::trace::{self, StageTimings};
 
 /// Request bodies above this size are rejected with `413` — compile
 /// requests are names, not payloads.
@@ -59,17 +78,23 @@ const MAX_HEAD: usize = 16 << 10;
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Server-side policy knobs (everything not owned by the engine).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// How long a completed job stays queryable before eviction. Pending
     /// jobs are exempt.
     pub job_ttl: Duration,
+    /// When set, every completed batch appends one JSONL record per job
+    /// (timestamp, labels, engine wall, per-stage timeline) to this file.
+    /// Write failures are counted (`tetris_trace_log_errors_total`) and
+    /// swallowed — tracing must never fail a compile.
+    pub trace_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             job_ttl: Duration::from_secs(15 * 60),
+            trace_log: None,
         }
     }
 }
@@ -90,6 +115,26 @@ enum JobRecord {
     },
 }
 
+/// One shard merge's summary, queryable at `GET /shards`. The artifact
+/// itself lives in the engine cache under `cache_key` and is served by
+/// `GET /shard/<key>` for as long as the cache retains it.
+struct ShardInfo {
+    /// Region-fingerprinted key of the merged whole-device artifact.
+    cache_key: u64,
+    /// Jobs packed into this shard group.
+    members: usize,
+    /// Jobs that did not fit and fell back to whole-device compilation.
+    leftover: usize,
+    /// Whether the merged artifact came from the cache.
+    merged_cached: bool,
+    /// Whether a merged artifact was produced at all.
+    merged: bool,
+}
+
+/// Bound on the shard-summary ring: old merges rotate out, their
+/// artifacts stay fetchable while cached.
+const MAX_SHARD_INFOS: usize = 256;
+
 /// State shared by every connection: the engine and the job table.
 pub struct AppState {
     engine: Engine,
@@ -98,6 +143,8 @@ pub struct AppState {
     config: ServerConfig,
     /// Completed records dropped by the TTL sweep (not client `DELETE`s).
     expired_total: AtomicU64,
+    /// Recent shard merges, newest last, bounded by [`MAX_SHARD_INFOS`].
+    shards: Mutex<VecDeque<ShardInfo>>,
 }
 
 impl AppState {
@@ -108,6 +155,7 @@ impl AppState {
             next_id: AtomicU64::new(1),
             config,
             expired_total: AtomicU64::new(0),
+            shards: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -339,11 +387,35 @@ fn status_text(code: u16) -> &'static str {
     }
 }
 
-fn respond(stream: &mut TcpStream, code: u16, body: &str, keep_alive: bool) {
+/// Response payload: every handler speaks JSON except `/metrics`, whose
+/// Prometheus exposition is plain text.
+enum Payload {
+    Json(String),
+    Text(String),
+}
+
+impl Payload {
+    fn body(&self) -> &str {
+        match self {
+            Payload::Json(s) | Payload::Text(s) => s,
+        }
+    }
+
+    fn content_type(&self) -> &'static str {
+        match self {
+            Payload::Json(_) => "application/json",
+            Payload::Text(_) => "text/plain; version=0.0.4",
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, payload: &Payload, keep_alive: bool) {
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let body = payload.body();
     let response = format!(
-        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {code} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         status_text(code),
+        payload.content_type(),
         body.len(),
     );
     let _ = stream.write_all(response.as_bytes());
@@ -371,24 +443,68 @@ fn handle_connection(stream: TcpStream, state: &Arc<AppState>) {
             Err(ReadError::Idle) => return,
             Err(ReadError::Bad(e)) => {
                 let code = if e == "body too large" { 413 } else { 400 };
-                respond(&mut writer, code, &error_body(e), false);
+                record_http("other", code, 0.0);
+                respond(&mut writer, code, &Payload::Json(error_body(e)), false);
                 return;
             }
         };
         let keep_alive = request.keep_alive;
-        let (code, body) = route(&request, state);
-        respond(&mut writer, code, &body, keep_alive);
+        let route_label = route_label(&request.path);
+        let inflight = tetris_obs::global().gauge("tetris_http_inflight", &[]);
+        inflight.inc();
+        let started = Instant::now();
+        let (code, payload) = route(&request, state);
+        record_http(route_label, code, started.elapsed().as_secs_f64());
+        inflight.dec();
+        respond(&mut writer, code, &payload, keep_alive);
         if !keep_alive {
             return;
         }
     }
 }
 
-fn route(request: &Request, state: &Arc<AppState>) -> (u16, String) {
+/// Normalizes a request path into a bounded `route` label: per-id paths
+/// collapse to their prefix so metric cardinality stays fixed no matter
+/// what clients request.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/batch" => "/batch",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/trace" => "/trace",
+        "/shards" => "/shards",
+        p if p.starts_with("/job/") => "/job",
+        p if p.starts_with("/shard/") => "/shard",
+        _ => "other",
+    }
+}
+
+/// Records one finished request: status-class counter and latency
+/// histogram, both labeled by normalized route.
+fn record_http(route: &'static str, code: u16, secs: f64) {
+    if !tetris_obs::enabled() {
+        return;
+    }
+    let class = match code {
+        200..=299 => "2xx",
+        300..=499 => "4xx",
+        _ => "5xx",
+    };
+    let g = tetris_obs::global();
+    g.counter(
+        "tetris_http_requests_total",
+        &[("route", route), ("class", class)],
+    )
+    .inc();
+    g.histogram("tetris_http_request_seconds", &[("route", route)])
+        .observe(secs);
+}
+
+fn route(request: &Request, state: &Arc<AppState>) -> (u16, Payload) {
     // Resolve the path first, then the method: an unknown path is 404 for
     // every method, a known path with the wrong method is 405.
     let method = request.method.as_str();
-    match request.path.as_str() {
+    let (code, body) = match request.path.as_str() {
         "/batch" => match method {
             "POST" => post_batch(state, &request.body),
             _ => (405, error_body("use POST /batch")),
@@ -397,15 +513,36 @@ fn route(request: &Request, state: &Arc<AppState>) -> (u16, String) {
             "GET" => (200, stats_body(state)),
             _ => (405, error_body("use GET /stats")),
         },
-        path => match path.strip_prefix("/job/") {
-            Some(id) => match method {
-                "GET" => get_job(state, id, &request.query),
-                "DELETE" => delete_job(state, id),
-                _ => (405, error_body("use GET or DELETE /job/<id>")),
-            },
-            None => (404, error_body("no such route")),
+        "/metrics" => match method {
+            "GET" => return (200, Payload::Text(metrics_body(state))),
+            _ => (405, error_body("use GET /metrics")),
         },
-    }
+        "/trace" => match method {
+            "GET" => (200, trace_body(&request.query)),
+            _ => (405, error_body("use GET /trace")),
+        },
+        "/shards" => match method {
+            "GET" => (200, shards_body(state)),
+            _ => (405, error_body("use GET /shards")),
+        },
+        path => {
+            if let Some(id) = path.strip_prefix("/job/") {
+                match method {
+                    "GET" => get_job(state, id, &request.query),
+                    "DELETE" => delete_job(state, id),
+                    _ => (405, error_body("use GET or DELETE /job/<id>")),
+                }
+            } else if let Some(key) = path.strip_prefix("/shard/") {
+                match method {
+                    "GET" => get_shard(state, key, &request.query),
+                    _ => (405, error_body("use GET /shard/<key>")),
+                }
+            } else {
+                (404, error_body("no such route"))
+            }
+        }
+    };
+    (code, Payload::Json(body))
 }
 
 // --------------------------------------------------------------- handlers
@@ -490,13 +627,17 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
     let worker_ids = ids.clone();
     std::thread::spawn(move || {
         let results = if shard {
-            worker_state
+            let batch = worker_state
                 .engine
-                .compile_batch_sharded(jobs, &ShardConfig::default())
-                .results
+                .compile_batch_sharded(jobs, &ShardConfig::default());
+            record_shards(&worker_state, batch.shards);
+            batch.results
         } else {
             worker_state.engine.compile_batch(jobs)
         };
+        if let Some(path) = &worker_state.config.trace_log {
+            append_trace_log(path, &results);
+        }
         let done_at = Instant::now();
         let mut table = worker_state.jobs.lock().expect("job table lock");
         for (id, result) in worker_ids.into_iter().zip(results) {
@@ -516,12 +657,62 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
     (200, body)
 }
 
+/// Rolls a sharded batch's reports into the bounded summary ring.
+fn record_shards(state: &AppState, reports: Vec<tetris_engine::ShardReport>) {
+    let mut ring = state.shards.lock().expect("shard ring lock");
+    for r in reports {
+        if ring.len() == MAX_SHARD_INFOS {
+            ring.pop_front();
+        }
+        ring.push_back(ShardInfo {
+            cache_key: r.cache_key,
+            members: r.plan.members.len(),
+            leftover: r.plan.leftover.len(),
+            merged_cached: r.merged_cached,
+            merged: r.merged.is_some(),
+        });
+    }
+}
+
+/// Appends one JSONL record per result to the trace log. Failures are
+/// counted and swallowed — tracing must never fail a compile.
+fn append_trace_log(path: &std::path::Path, results: &[JobResult]) {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut lines = String::new();
+    for r in results {
+        lines.push_str(&format!(
+            "{{ \"unix_ms\": {unix_ms}, \"name\": \"{}\", \"compiler\": \"{}\", \
+             \"cached\": {}, \"error\": {}, \"engine_seconds\": {:.6}, \"stages\": {} }}\n",
+            escape(&r.name),
+            escape(&r.compiler),
+            r.cached,
+            r.error.is_some(),
+            r.engine_seconds,
+            stages_json(&r.stages),
+        ));
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(lines.as_bytes()));
+    if written.is_err() {
+        tetris_obs::global()
+            .counter("tetris_trace_log_errors_total", &[])
+            .inc();
+    }
+}
+
 fn get_job(state: &AppState, id: &str, query: &str) -> (u16, String) {
     let Ok(id) = id.parse::<u64>() else {
         return (400, error_body("job id must be an integer"));
     };
     // Exact key=value match — `?noqasm=1` must not trigger embedding.
     let with_qasm = query.split('&').any(|kv| kv == "qasm=1");
+    let with_trace = query.split('&').any(|kv| kv == "trace=1");
     // Copy the record out (a JobResult clone is an Arc bump plus a few
     // strings) so QASM serialization never runs under the table lock.
     let record = {
@@ -541,7 +732,7 @@ fn get_job(state: &AppState, id: &str, query: &str) -> (u16, String) {
             Some(JobRecord::Done { result, .. }) => (**result).clone(),
         }
     };
-    (200, job_body(id, &record, with_qasm))
+    (200, job_body(id, &record, with_qasm, with_trace))
 }
 
 fn delete_job(state: &AppState, id: &str) -> (u16, String) {
@@ -565,7 +756,7 @@ fn delete_job(state: &AppState, id: &str) -> (u16, String) {
     }
 }
 
-fn job_body(id: u64, r: &JobResult, with_qasm: bool) -> String {
+fn job_body(id: u64, r: &JobResult, with_qasm: bool, with_trace: bool) -> String {
     let s = &r.output.stats;
     let error = match &r.error {
         Some(msg) => format!(" \"error\": \"{}\",", escape(msg)),
@@ -588,9 +779,16 @@ fn job_body(id: u64, r: &JobResult, with_qasm: bool) -> String {
         ),
         None => String::new(),
     };
+    // `?trace=1`: this request's per-stage timeline, with busy/total
+    // aggregates (busy excludes queue wait, so it tracks engine_seconds).
+    let trace = if with_trace {
+        format!(" \"trace\": {},", trace_json(&r.stages))
+    } else {
+        String::new()
+    };
     format!(
         "{{ \"id\": {id}, \"status\": \"done\", \"name\": \"{}\", \"compiler\": \"{}\", \
-         \"cache_key\": \"{:016x}\", \"cached\": {},{error}{qasm}{region} \"engine_seconds\": {:.6}, \
+         \"cache_key\": \"{:016x}\", \"cached\": {},{error}{qasm}{region}{trace} \"engine_seconds\": {:.6}, \
          \"stats_digest\": \"{:016x}\", \"gates\": {}, \"cnots\": {}, \"swaps\": {}, \
          \"depth\": {}, \"duration\": {}, \"cancel_ratio\": {:.4} }}\n",
         escape(&r.name),
@@ -621,7 +819,8 @@ fn stats_body(state: &AppState) -> String {
          \"jobs_expired\": {}, \
          \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
          \"disk_hits\": {}, \"disk_misses\": {}, \"disk_stores\": {}, \
-         \"disk_store_errors\": {}, \"hit_ratio\": {:.4}, \"disk_hit_ratio\": {:.4} }} }}\n",
+         \"disk_store_errors\": {}, \"disk_gc_evictions\": {}, \"disk_purged\": {}, \
+         \"hit_ratio\": {:.4}, \"disk_hit_ratio\": {:.4} }} }}\n",
         state.engine.threads(),
         table.len(),
         state.expired_total.load(Ordering::Relaxed),
@@ -633,7 +832,163 @@ fn stats_body(state: &AppState) -> String {
         c.disk_misses,
         c.disk_stores,
         c.disk_store_errors,
+        c.disk_gc_evictions,
+        c.disk_purged,
         c.hit_ratio(),
         c.disk_hit_ratio(),
     )
+}
+
+/// `GET /metrics`: Prometheus text exposition of the process registry.
+/// Pull-model counters owned by the cache and job table are synced into
+/// the registry first, so one scrape agrees with `/stats` at the same
+/// instant.
+fn metrics_body(state: &AppState) -> String {
+    let g = tetris_obs::global();
+    let c = state.engine.cache_stats();
+    let mem = ("tier", "memory");
+    let dsk = ("tier", "disk");
+    g.counter("tetris_cache_lookups_total", &[mem, ("outcome", "hit")])
+        .set(c.hits);
+    g.counter("tetris_cache_lookups_total", &[mem, ("outcome", "miss")])
+        .set(c.misses);
+    g.counter("tetris_cache_evictions_total", &[mem])
+        .set(c.evictions);
+    g.gauge("tetris_cache_entries", &[mem])
+        .set(c.entries as i64);
+    g.counter("tetris_cache_lookups_total", &[dsk, ("outcome", "hit")])
+        .set(c.disk_hits);
+    g.counter("tetris_cache_lookups_total", &[dsk, ("outcome", "miss")])
+        .set(c.disk_misses);
+    g.counter("tetris_cache_stores_total", &[dsk])
+        .set(c.disk_stores);
+    g.counter("tetris_cache_store_errors_total", &[dsk])
+        .set(c.disk_store_errors);
+    g.counter("tetris_cache_gc_evictions_total", &[dsk])
+        .set(c.disk_gc_evictions);
+    g.counter("tetris_cache_purged_total", &[dsk])
+        .set(c.disk_purged);
+    let (jobs_total, pending) = {
+        let mut table = state.jobs.lock().expect("job table lock");
+        state.sweep_expired(&mut table);
+        let pending = table
+            .values()
+            .filter(|r| matches!(r, JobRecord::Pending { .. }))
+            .count();
+        (table.len(), pending)
+    };
+    g.gauge("tetris_server_jobs", &[]).set(jobs_total as i64);
+    g.gauge("tetris_server_jobs_pending", &[])
+        .set(pending as i64);
+    g.counter("tetris_server_jobs_expired_total", &[])
+        .set(state.expired_total.load(Ordering::Relaxed));
+    g.render()
+}
+
+/// `GET /trace`: the newest `?n=` completed jobs (default 100) from the
+/// in-process trace ring, oldest first.
+fn trace_body(query: &str) -> String {
+    let n = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("n="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(100);
+    let entries: Vec<String> = trace::recent(n)
+        .iter()
+        .map(|e| {
+            format!(
+                "{{ \"unix_ms\": {}, \"name\": \"{}\", \"compiler\": \"{}\", \
+                 \"cached\": {}, \"error\": {}, \"engine_seconds\": {:.6}, \"stages\": {} }}",
+                e.unix_ms,
+                escape(&e.job),
+                escape(&e.compiler),
+                e.cached,
+                e.error,
+                e.engine_seconds,
+                stages_json(&e.stages),
+            )
+        })
+        .collect();
+    format!("{{ \"events\": [{}] }}\n", entries.join(", "))
+}
+
+/// `GET /shards`: summaries of recent shard merges, oldest first.
+fn shards_body(state: &AppState) -> String {
+    let ring = state.shards.lock().expect("shard ring lock");
+    let entries: Vec<String> = ring
+        .iter()
+        .map(|s| {
+            format!(
+                "{{ \"cache_key\": \"{:016x}\", \"members\": {}, \"leftover\": {}, \
+                 \"merged\": {}, \"merged_cached\": {} }}",
+                s.cache_key, s.members, s.leftover, s.merged, s.merged_cached,
+            )
+        })
+        .collect();
+    format!("{{ \"shards\": [{}] }}\n", entries.join(", "))
+}
+
+/// `GET /shard/<key>`: the merged whole-device artifact cached under a
+/// 16-hex-digit shard key (as listed by `/shards` or a sharded batch's
+/// job records). 404 once the cache has let it go.
+fn get_shard(state: &AppState, key: &str, query: &str) -> (u16, String) {
+    let parsed = (key.len() == 16)
+        .then(|| u64::from_str_radix(key, 16).ok())
+        .flatten();
+    let Some(key) = parsed else {
+        return (400, error_body("shard key must be 16 hex digits"));
+    };
+    let with_qasm = query.split('&').any(|kv| kv == "qasm=1");
+    let Some(output) = state.engine.cached_output(key) else {
+        return (404, error_body(&format!("no cached artifact {key:016x}")));
+    };
+    let s = &output.stats;
+    let qasm = if with_qasm {
+        format!(
+            " \"qasm\": \"{}\",",
+            escape(&tetris_circuit::qasm::to_qasm(&output.circuit))
+        )
+    } else {
+        String::new()
+    };
+    (
+        200,
+        format!(
+            "{{ \"cache_key\": \"{key:016x}\", \"compiler\": \"{}\",{qasm} \
+             \"stats_digest\": \"{:016x}\", \"gates\": {}, \"cnots\": {}, \"swaps\": {}, \
+             \"depth\": {}, \"duration\": {}, \"cancel_ratio\": {:.4}, \"stages\": {} }}\n",
+            escape(&output.compiler),
+            output.stats_digest(),
+            output.circuit.len(),
+            s.total_cnots(),
+            s.swaps_final,
+            s.metrics.depth,
+            s.metrics.duration,
+            s.cancel_ratio(),
+            stages_json(&output.stages),
+        ),
+    )
+}
+
+/// Renders a stage timeline as a JSON object of its nonzero stages.
+fn stages_json(stages: &StageTimings) -> String {
+    let entries: Vec<String> = stages
+        .iter()
+        .filter(|(_, secs)| *secs > 0.0)
+        .map(|(stage, secs)| format!("\"{}\": {:.9}", stage.name(), secs))
+        .collect();
+    format!("{{ {} }}", entries.join(", "))
+}
+
+/// [`stages_json`] plus busy/total aggregates: `busy_seconds` excludes
+/// queue wait, so it tracks the job's `engine_seconds`.
+fn trace_json(stages: &StageTimings) -> String {
+    let mut entries: Vec<String> = stages
+        .iter()
+        .filter(|(_, secs)| *secs > 0.0)
+        .map(|(stage, secs)| format!("\"{}\": {:.9}", stage.name(), secs))
+        .collect();
+    entries.push(format!("\"busy_seconds\": {:.9}", stages.busy_total()));
+    entries.push(format!("\"total_seconds\": {:.9}", stages.total()));
+    format!("{{ {} }}", entries.join(", "))
 }

@@ -391,6 +391,149 @@ fn sharded_batches_report_disjoint_regions() {
     assert_eq!(status, 400, "{response}");
 }
 
+#[test]
+fn observability_endpoints_expose_metrics_traces_and_shards() {
+    let addr = start_server();
+    // A sharded batch lights up the shard, merge and stage series.
+    let body = r#"{ "shard": true, "jobs": [
+        {"workload": "REG3-8-s1", "backend": "tetris", "device": "grid-4x4"},
+        {"workload": "REG3-8-s2", "backend": "tetris", "device": "grid-4x4"}
+    ] }"#;
+    let (status, response) = request(&addr, "POST", "/batch", Some(body));
+    assert_eq!(status, 200, "{response}");
+    poll_done(&addr, 1, Duration::from_secs(120));
+    poll_done(&addr, 2, Duration::from_secs(120));
+
+    // `?trace=1` adds a per-stage timeline whose busy walls (everything
+    // except queue wait) track the engine wall within the 10 % acceptance
+    // bound.
+    let (status, traced) = request(&addr, "GET", "/job/1?trace=1", None);
+    assert_eq!(status, 200, "{traced}");
+    assert!(traced.contains("\"trace\":"), "{traced}");
+    let busy: f64 = field(&traced, "busy_seconds")
+        .expect("busy aggregate")
+        .parse()
+        .expect("numeric busy");
+    let engine_seconds: f64 = field(&traced, "engine_seconds")
+        .expect("engine wall")
+        .parse()
+        .expect("numeric wall");
+    assert!(
+        (busy - engine_seconds).abs() <= 0.1 * engine_seconds + 1e-4,
+        "trace busy walls {busy} must track engine_seconds {engine_seconds}: {traced}"
+    );
+
+    // /metrics is Prometheus text exposition with engine, cache (both
+    // tiers), shard and HTTP series present.
+    let (status, metrics) = request(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    for series in [
+        "# TYPE tetris_jobs_completed_total counter",
+        "tetris_engine_seconds_count",
+        "tetris_stage_seconds_bucket",
+        "tetris_cache_lookups_total{tier=\"memory\",outcome=\"hit\"}",
+        "tetris_cache_lookups_total{tier=\"disk\",outcome=\"miss\"}",
+        "tetris_cache_gc_evictions_total{tier=\"disk\"}",
+        "tetris_cache_purged_total{tier=\"disk\"}",
+        "tetris_shard_plans_total",
+        "tetris_shard_merges_total",
+        "tetris_http_requests_total{route=\"/batch\",class=\"2xx\"}",
+        "tetris_http_request_seconds_bucket",
+        "tetris_server_jobs",
+    ] {
+        assert!(
+            metrics.contains(series),
+            "missing `{series}` in:\n{metrics}"
+        );
+    }
+
+    // /shards lists the merge; /shard/<key> serves the merged artifact.
+    let (status, shards) = request(&addr, "GET", "/shards", None);
+    assert_eq!(status, 200, "{shards}");
+    let key = field(&shards, "cache_key")
+        .expect("one shard summary")
+        .to_string();
+    assert_eq!(key.len(), 16, "hex key: {key}");
+    let (status, artifact) = request(&addr, "GET", &format!("/shard/{key}"), None);
+    assert_eq!(status, 200, "{artifact}");
+    assert_eq!(field(&artifact, "cache_key"), Some(key.as_str()));
+    assert!(
+        field(&artifact, "gates")
+            .expect("gates")
+            .parse::<usize>()
+            .expect("numeric")
+            > 0
+    );
+    let (_, with_qasm) = request(&addr, "GET", &format!("/shard/{key}?qasm=1"), None);
+    assert!(with_qasm.contains("OPENQASM 2.0"), "qasm embedded");
+    // Bad or unknown keys are client errors, not crashes.
+    assert_eq!(request(&addr, "GET", "/shard/zz", None).0, 400);
+    assert_eq!(
+        request(&addr, "GET", "/shard/0000000000000000", None).0,
+        404
+    );
+
+    // /trace serves recent completions from the ring.
+    let (status, trace) = request(&addr, "GET", "/trace?n=10", None);
+    assert_eq!(status, 200);
+    assert!(trace.contains("\"events\": ["), "{trace}");
+    assert!(trace.contains("\"engine_seconds\":"), "{trace}");
+
+    // /stats now exposes the previously hidden disk counters, agreeing
+    // with the exposition's `tetris_cache_*{tier="disk"}` series.
+    let (_, stats) = request(&addr, "GET", "/stats", None);
+    assert_eq!(field(&stats, "disk_gc_evictions"), Some("0"), "{stats}");
+    assert_eq!(field(&stats, "disk_purged"), Some("0"), "{stats}");
+}
+
+#[test]
+fn trace_log_appends_one_jsonl_record_per_job() {
+    let path = std::env::temp_dir().join(format!("tetris-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = CompileServer::bind_with(
+        "127.0.0.1:0",
+        EngineConfig {
+            threads: 2,
+            cache_capacity: 64,
+            cache_dir: None,
+            cache_max_bytes: None,
+        },
+        ServerConfig {
+            job_ttl: Duration::from_secs(900),
+            trace_log: Some(path.clone()),
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    server.serve_background();
+
+    let batch = r#"{ "jobs": [
+        {"workload": "REG3-8-s1", "backend": "maxcancel", "device": "ring-9"},
+        {"workload": "REG3-8-s2", "backend": "maxcancel", "device": "ring-9"}
+    ] }"#;
+    let (status, response) = request(&addr, "POST", "/batch", Some(batch));
+    assert_eq!(status, 200, "{response}");
+    poll_done(&addr, 1, Duration::from_secs(120));
+    poll_done(&addr, 2, Duration::from_secs(120));
+
+    // The log is written before the job table flips to done, so both
+    // records are on disk by now: one JSON object per line.
+    let text = std::fs::read_to_string(&path).expect("trace log exists");
+    assert_eq!(text.lines().count(), 2, "{text}");
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for key in [
+            "\"unix_ms\":",
+            "\"name\":",
+            "\"engine_seconds\":",
+            "\"stages\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 /// A server whose completed jobs expire after `ttl`.
 fn start_server_with_ttl(ttl: Duration) -> String {
     let server = CompileServer::bind_with(
@@ -401,7 +544,10 @@ fn start_server_with_ttl(ttl: Duration) -> String {
             cache_dir: None,
             cache_max_bytes: None,
         },
-        ServerConfig { job_ttl: ttl },
+        ServerConfig {
+            job_ttl: ttl,
+            ..Default::default()
+        },
     )
     .expect("bind ephemeral port");
     let addr = server.local_addr().to_string();

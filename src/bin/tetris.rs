@@ -25,9 +25,9 @@ fn usage() -> ExitCode {
   tetris qaoa    [--nodes N] [--degree D | --edges M] [--seed S] [--qasm FILE]
   tetris compare [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
   tetris bench-suite [--quick] [--threads N] [--passes P] [--backend heavy-hex|sycamore]
-                     [--cache-dir DIR] [--cache-max-bytes B] [--shard] [--out FILE]
+                     [--cache-dir DIR] [--cache-max-bytes B] [--shard] [--profile] [--out FILE]
   tetris serve   [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--cache-capacity N]
-                 [--cache-max-bytes B] [--job-ttl-secs S]
+                 [--cache-max-bytes B] [--job-ttl-secs S] [--trace-log FILE]
 
 molecules: LiH BeH2 CH4 MgH2 LiCl CO2"
     );
@@ -193,11 +193,16 @@ fn cmd_compare(args: &Args) -> Option<ExitCode> {
 /// report's `cached_fraction` makes visible. With `--shard` the report
 /// additionally compares a batch of small workloads compiled sequentially
 /// against a whole 130-node heavy-hex chip vs sharded onto carved regions
-/// of it (per-region utilization + wall-clock speedup).
+/// of it (per-region utilization + wall-clock speedup). With `--profile`
+/// the report gains a `"profile"` section measuring the observability
+/// layer's overhead (suite compiled cold with recording disabled vs
+/// enabled) plus per-stage wall-time aggregates.
 fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     use std::sync::Arc;
     use std::time::Instant;
-    use tetris::bench::suite::{json_report, run_shard_comparison, suite_jobs, SuitePass};
+    use tetris::bench::suite::{
+        json_report, run_shard_comparison, run_suite_profile, suite_jobs, SuitePass,
+    };
     use tetris::engine::{Engine, EngineConfig};
 
     let quick = args.flag("--quick");
@@ -258,7 +263,15 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     let shard = args
         .flag("--shard")
         .then(|| run_shard_comparison(quick, threads));
-    let report = json_report(engine.threads(), &report_passes, shard.as_ref());
+    let profile = args
+        .flag("--profile")
+        .then(|| run_suite_profile(quick, threads, &graph));
+    let report = json_report(
+        engine.threads(),
+        &report_passes,
+        shard.as_ref(),
+        profile.as_ref(),
+    );
     match args.value("--out") {
         Some(path) => {
             std::fs::write(path, &report).expect("write report file");
@@ -272,7 +285,9 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
 /// Runs the HTTP compilation service until killed. With `--cache-dir` the
 /// engine's result cache gains a persistent disk tier (bounded by
 /// `--cache-max-bytes`), so a restarted server answers previously compiled
-/// batches from disk; `--job-ttl-secs` bounds the in-memory job table.
+/// batches from disk; `--job-ttl-secs` bounds the in-memory job table;
+/// `--trace-log FILE` appends one JSONL record per completed job (labels,
+/// engine wall, per-stage timeline).
 fn cmd_serve(args: &Args) -> Option<ExitCode> {
     use tetris::engine::EngineConfig;
     use tetris::server::{CompileServer, ServerConfig};
@@ -300,6 +315,7 @@ fn cmd_serve(args: &Args) -> Option<ExitCode> {
     if let Some(secs) = args.value("--job-ttl-secs").and_then(|v| v.parse().ok()) {
         server_config.job_ttl = std::time::Duration::from_secs(secs);
     }
+    server_config.trace_log = args.value("--trace-log").map(std::path::PathBuf::from);
     match CompileServer::bind_with(addr, config, server_config) {
         Ok(server) => {
             println!("listening on http://{}", server.local_addr());

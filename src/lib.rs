@@ -37,12 +37,18 @@
 //!   lookahead scheduling).
 //! * [`baselines`] — Paulihedral-like, max-cancel, tket-like, PCOAST-like and
 //!   2QAN-lite comparators used throughout the evaluation.
+//! * [`obs`] — the observability layer: a process-wide metrics registry
+//!   (counters, gauges, log-bucketed histograms, Prometheus text
+//!   exposition) and per-job stage tracing, all std-only and disabled
+//!   wholesale with [`obs::set_enabled`]`(false)`.
 //! * [`engine`] — the parallel batch-compilation engine: a fixed worker
 //!   pool plus a tiered content-addressed result cache (in-memory LRU over
 //!   an optional persistent disk tier), with every compiler of the
-//!   workspace behind one [`engine::Backend`].
+//!   workspace behind one [`engine::Backend`]. Every job records a
+//!   per-stage wall-time timeline.
 //! * [`server`] — the std-only HTTP/1.1 front-end (`tetris serve`): named
-//!   batch submission, result polling and cache/pool counters as JSON.
+//!   batch submission, result polling, cache/pool counters as JSON, a
+//!   Prometheus `/metrics` endpoint and per-job `?trace=1` timelines.
 //! * [`bench`] — the experiment harness: workload suites, table emitters
 //!   and the per-figure binaries.
 
@@ -51,6 +57,7 @@ pub use tetris_bench as bench;
 pub use tetris_circuit as circuit;
 pub use tetris_core as core;
 pub use tetris_engine as engine;
+pub use tetris_obs as obs;
 pub use tetris_pauli as pauli;
 pub use tetris_router as router;
 pub use tetris_server as server;
