@@ -114,7 +114,7 @@ pub fn grow_from_connected_component(
         seen.insert(p);
         let mut stack = vec![p];
         while let Some(u) = stack.pop() {
-            for &v in graph.neighbors(u) {
+            for v in graph.neighbors(u) {
                 if !seen.contains(v) && position_set.contains(v) {
                     seen.insert(v);
                     cc.push(v);
@@ -139,7 +139,7 @@ pub fn grow_from_connected_component(
     depth[root] = 0;
     let mut frontier = vec![root];
     while let Some(u) = frontier.pop() {
-        for &v in graph.neighbors(u) {
+        for v in graph.neighbors(u) {
             if best_cc_set.contains(v) && !placed.contains(v) {
                 tree.add_edge(v, u, NodeKind::Data(layout.logical_at(v).expect("data")));
                 placed.insert(v);
@@ -178,14 +178,13 @@ pub fn grow_from_connected_component(
         let field = bfs_avoiding(graph, start, &placed);
         let attach = (0..n_phys)
             .filter(|&p| field.dist[p] != u32::MAX && !placed.contains(p))
-            .filter(|&p| graph.neighbors(p).iter().any(|&m| placed.contains(m)))
+            .filter(|&p| graph.neighbors(p).any(|m| placed.contains(m)))
             .min_by_key(|&p| (field.dist[p], p))
             .expect("connected graph");
-        let parent = *graph
+        let parent = graph
             .neighbors(attach)
-            .iter()
-            .filter(|&&m| placed.contains(m))
-            .max_by_key(|&&m| {
+            .filter(|&m| placed.contains(m))
+            .max_by_key(|&m| {
                 let d = if depth[m] == u32::MAX { 0 } else { depth[m] };
                 (d, std::cmp::Reverse(m))
             })

@@ -56,7 +56,7 @@ pub fn bfs_avoiding(graph: &CouplingGraph, start: usize, blocked: &QubitMask) ->
     dist[start] = 0;
     queue.push_back(start);
     while let Some(u) = queue.pop_front() {
-        for &v in graph.neighbors(u) {
+        for v in graph.neighbors(u) {
             if dist[v] == u32::MAX && !blocked.contains(v) {
                 dist[v] = dist[u] + 1;
                 prev[v] = u;
@@ -88,9 +88,13 @@ pub fn find_center(graph: &CouplingGraph, layout: &Layout, qubits: &QubitMask) -
     for q in qubits.iter() {
         positions.insert(layout.phys_of(q).expect("qubit placed"));
     }
+    // One lazily-cached distance row per *position* (|positions| rows, not
+    // one per candidate center): distances are symmetric, so dist(c, p) is
+    // read as rows[p][c]. Bit-identical to the per-candidate sum.
+    let rows: Vec<&[u32]> = positions.iter().map(|p| graph.dist_row(p)).collect();
     (0..graph.n_qubits())
         .min_by_key(|&c| {
-            let cost: u64 = positions.iter().map(|p| graph.dist(c, p) as u64).sum();
+            let cost: u64 = rows.iter().map(|r| r[c] as u64).sum();
             (cost, !positions.contains(c), c)
         })
         .expect("non-empty graph")
@@ -169,7 +173,7 @@ pub fn gather_cluster(
         // adjacent to the cluster, minimizing travel distance.
         let attach = (0..graph.n_qubits())
             .filter(|&node| field.dist[node] != u32::MAX && !placed.contains(node))
-            .filter(|&node| graph.neighbors(node).iter().any(|&m| placed.contains(m)))
+            .filter(|&node| graph.neighbors(node).any(|m| placed.contains(m)))
             .min_by_key(|&node| (field.dist[node], node))
             .expect("a connected graph always exposes a cluster-adjacent node");
         // Parent choice is the tree-shape knob: chain-shaped trees (deepest
@@ -178,11 +182,10 @@ pub fn gather_cluster(
         // and deep edges avoid the frequently-changing center (which also
         // carries the Rz). Balanced (shallowest parent) trades cancellation
         // for depth; see the ablation bench.
-        let parent = *graph
+        let parent = graph
             .neighbors(attach)
-            .iter()
-            .filter(|&&m| placed.contains(m))
-            .max_by_key(|&&m| {
+            .filter(|&m| placed.contains(m))
+            .max_by_key(|&m| {
                 let d = if depth[m] == u32::MAX { 0 } else { depth[m] };
                 let key = match bias {
                     TreeBias::Chain => d as i64,

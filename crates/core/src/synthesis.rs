@@ -83,10 +83,9 @@ pub fn synthesize_block(
                 // (d = 1 when qn is already adjacent to qm).
                 let reach = graph
                     .neighbors(qm)
-                    .iter()
-                    .filter(|&&nb| field.dist[nb] != u32::MAX && !placed.contains(nb))
-                    .min_by_key(|&&nb| (field.dist[nb], nb));
-                let Some(&nb) = reach else { continue };
+                    .filter(|&nb| field.dist[nb] != u32::MAX && !placed.contains(nb))
+                    .min_by_key(|&nb| (field.dist[nb], nb));
+                let Some(nb) = reach else { continue };
                 let d = field.dist[nb] + 1;
                 let score = leaf_score(
                     d,

@@ -84,4 +84,6 @@ pub use codec::{decode_output, encode_output, CodecError};
 pub use disk::{DiskCache, DiskStats};
 pub use job::{CompileJob, JobResult};
 pub use pool::{Engine, EngineConfig};
-pub use shard::{plan_shards, ShardConfig, ShardPlan, ShardReport, ShardedBatch};
+pub use shard::{
+    plan_shards, slack_for_width, ShardConfig, ShardPlan, ShardReport, ShardedBatch, SlackPolicy,
+};

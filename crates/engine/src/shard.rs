@@ -31,18 +31,57 @@ use tetris_obs::StageTimings;
 use tetris_pauli::fingerprint::Fingerprint64;
 use tetris_topology::{CouplingGraph, Region};
 
+/// How much routing slack (extra physical qubits beyond the job width) a
+/// carved region gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlackPolicy {
+    /// The same slack for every job, regardless of width.
+    Fixed(usize),
+    /// The measured per-width heuristic ([`slack_for_width`]) from the
+    /// `region_slack` bench.
+    PerWidth,
+}
+
+impl SlackPolicy {
+    /// The slack granted to a job of `width` logical qubits.
+    pub fn for_width(&self, width: usize) -> usize {
+        match *self {
+            SlackPolicy::Fixed(s) => s,
+            SlackPolicy::PerWidth => slack_for_width(width),
+        }
+    }
+}
+
+/// The measured swaps-vs-slack heuristic (`region_slack` bench, heavy-hex
+/// service device, UCC workloads): below ~18 qubits extra region qubits
+/// never reduced SWAPs — frontier growth parks them on row ends the router
+/// never crosses — so narrow jobs get zero slack and leave the capacity to
+/// batch-mates. From ~20 qubits up, slack 4 reliably bought 4–7% fewer
+/// SWAPs (the wider region spans an extra heavy-hex bridge, opening a
+/// routing shortcut). Re-run the bench and update this table if routing
+/// behavior shifts.
+pub fn slack_for_width(width: usize) -> usize {
+    if width >= 18 {
+        4
+    } else {
+        0
+    }
+}
+
 /// Shard-planning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardConfig {
     /// Extra physical qubits granted to each region beyond the job width —
     /// routing freedom for the compiler (ancilla bridges, SWAP slack). The
     /// planner retries with zero slack before giving up on a grouping.
-    pub slack: usize,
+    pub slack: SlackPolicy,
 }
 
 impl Default for ShardConfig {
     fn default() -> Self {
-        ShardConfig { slack: 2 }
+        ShardConfig {
+            slack: SlackPolicy::PerWidth,
+        }
     }
 }
 
@@ -138,16 +177,16 @@ pub fn plan_shards(jobs: &[CompileJob], config: &ShardConfig) -> Vec<ShardPlan> 
                     .map(|&i| jobs[i].hamiltonian.n_qubits)
                     .collect();
                 let mut carved = None;
-                for slack in [config.slack, 0] {
+                for policy in [config.slack, SlackPolicy::Fixed(0)] {
                     let sizes: Vec<usize> = widths
                         .iter()
-                        .map(|&w| (w + slack).min(graph.n_qubits()))
+                        .map(|&w| (w + policy.for_width(w)).min(graph.n_qubits()))
                         .collect();
                     if let Some(regions) = graph.carve(&sizes) {
                         carved = Some(regions);
                         break;
                     }
-                    if slack == 0 {
+                    if policy == SlackPolicy::Fixed(0) {
                         break;
                     }
                 }
@@ -486,14 +525,47 @@ mod tests {
     }
 
     #[test]
+    fn slack_policy_follows_measured_heuristic() {
+        // The region_slack bench: no slack pays off below ~18 qubits,
+        // slack 4 wins from ~20 up.
+        assert_eq!(SlackPolicy::PerWidth.for_width(3), 0);
+        assert_eq!(SlackPolicy::PerWidth.for_width(16), 0);
+        assert_eq!(SlackPolicy::PerWidth.for_width(20), 4);
+        assert_eq!(SlackPolicy::PerWidth.for_width(24), 4);
+        assert_eq!(SlackPolicy::Fixed(2).for_width(3), 2);
+        assert_eq!(SlackPolicy::Fixed(2).for_width(24), 2);
+
+        // Planner under PerWidth: narrow jobs get exactly their width.
+        let graph = Arc::new(CouplingGraph::line(10));
+        let jobs = vec![
+            small_job("a", &["XYZ"], &graph),
+            small_job("b", &["ZZZZ"], &graph),
+        ];
+        let plans = plan_shards(&jobs, &ShardConfig::default());
+        for (i, region) in &plans[0].members {
+            assert_eq!(region.len(), jobs[*i].hamiltonian.n_qubits);
+        }
+    }
+
+    #[test]
     fn utilization_accounting() {
         let graph = Arc::new(CouplingGraph::line(10));
         let jobs = vec![
             small_job("a", &["XYZ"], &graph),
             small_job("b", &["ZZZ"], &graph),
         ];
-        let plans = plan_shards(&jobs, &ShardConfig { slack: 0 });
+        let plans = plan_shards(
+            &jobs,
+            &ShardConfig {
+                slack: SlackPolicy::Fixed(0),
+            },
+        );
         assert_eq!(plans[0].qubits_used(), 6);
+        // PerWidth grants these 3-qubit jobs zero slack too.
+        assert_eq!(
+            plan_shards(&jobs, &ShardConfig::default())[0].qubits_used(),
+            6
+        );
         assert!((plans[0].utilization() - 0.6).abs() < 1e-12);
     }
 }

@@ -258,7 +258,7 @@ pub fn route(
         for &(a, b) in &front_pairs {
             for lq in [a, b] {
                 let p = layout.phys_of(lq).unwrap();
-                for &nb in graph.neighbors(p) {
+                for nb in graph.neighbors(p) {
                     let e = (p.min(nb), p.max(nb));
                     if !in_candidates.contains(e.0 * n_phys + e.1) {
                         in_candidates.insert(e.0 * n_phys + e.1);

@@ -868,6 +868,10 @@ fn metrics_body(state: &AppState) -> String {
         .set(c.disk_gc_evictions);
     g.counter("tetris_cache_purged_total", &[dsk])
         .set(c.disk_purged);
+    let (rows_computed, row_hits) = tetris_topology::graph::global_row_stats();
+    g.counter("tetris_dist_rows_computed_total", &[])
+        .set(rows_computed);
+    g.counter("tetris_dist_row_hits_total", &[]).set(row_hits);
     let (jobs_total, pending) = {
         let mut table = state.jobs.lock().expect("job table lock");
         state.sweep_expired(&mut table);

@@ -15,7 +15,7 @@ use tetris_pauli::molecules::Molecule;
 use tetris_pauli::qaoa::{maxcut_hamiltonian, Graph};
 use tetris_pauli::uccsd::synthetic_ucc;
 use tetris_pauli::Hamiltonian;
-use tetris_topology::CouplingGraph;
+use tetris_topology::{CalibrationMap, CouplingGraph};
 
 /// Builds a workload from its wire name:
 ///
@@ -75,7 +75,28 @@ pub fn workload(name: &str) -> Option<Hamiltonian> {
 
 /// Builds a device from its wire name: `heavy-hex` (IBM 65q), `sycamore`
 /// (Google 64q), `line-<n>`, `ring-<n>` or `grid-<r>x<c>`.
+///
+/// A `!`-suffix applies a calibration map, turning the device into a
+/// weighted (noise-aware) graph:
+///
+/// * `<base>!cal-s<seed>` — the seeded synthetic map
+///   ([`CalibrationMap::synthetic`]), e.g. `heavy-hex!cal-s7`;
+/// * `<base>!hot-<u>-<v>-e<milli>` — a single hot edge: coupling `u–v`
+///   gets error `milli/1000` on an otherwise perfect device, e.g.
+///   `line-6!hot-2-3-e500`. The edge must exist.
+///
+/// Construction stays deterministic, so calibrated devices are content-
+/// addressed like any other.
 pub fn device(name: &str) -> Option<CouplingGraph> {
+    if let Some((base, spec)) = name.split_once('!') {
+        let g = bare_device(base)?;
+        let cal = calibration_suffix(&g, spec)?;
+        return Some(g.with_calibration(&cal));
+    }
+    bare_device(name)
+}
+
+fn bare_device(name: &str) -> Option<CouplingGraph> {
     match name {
         "heavy-hex" => return Some(CouplingGraph::heavy_hex_65()),
         "sycamore" => return Some(CouplingGraph::sycamore_64()),
@@ -106,6 +127,95 @@ pub fn device(name: &str) -> Option<CouplingGraph> {
         }
     }
     None
+}
+
+/// Parses a `!`-calibration suffix against its base device.
+fn calibration_suffix(g: &CouplingGraph, spec: &str) -> Option<CalibrationMap> {
+    if let Some(seed) = spec.strip_prefix("cal-s") {
+        let seed: u64 = seed.parse().ok()?;
+        return Some(CalibrationMap::synthetic(g, seed));
+    }
+    if let Some(rest) = spec.strip_prefix("hot-") {
+        let (uv, e) = rest.split_once("-e")?;
+        let (u, v) = uv.split_once('-')?;
+        let u: usize = u.parse().ok()?;
+        let v: usize = v.parse().ok()?;
+        let milli: u32 = e.parse().ok().filter(|&m| m <= 1000)?;
+        if u >= g.n_qubits() || v >= g.n_qubits() || !g.are_adjacent(u, v) {
+            return None;
+        }
+        let mut cal = CalibrationMap::uniform(g.n_qubits(), 0.0);
+        cal.set_edge_error(u, v, milli as f64 / 1000.0);
+        return Some(cal);
+    }
+    None
+}
+
+/// Loads a [`CalibrationMap`] for `graph` from the JSON wire format:
+///
+/// ```json
+/// {
+///   "default_edge_error": 0.01,
+///   "edges":  [ { "u": 0, "v": 1, "error": 0.02 } ],
+///   "qubits": [ { "q": 3, "error": 0.04 } ]
+/// }
+/// ```
+///
+/// Every field is optional (`default_edge_error` defaults to 0). Endpoints
+/// are validated against the device: out-of-range indices, non-adjacent
+/// edge entries, and error rates outside `[0, 1]` are rejected with a
+/// descriptive message.
+pub fn calibration_from_json(graph: &CouplingGraph, text: &str) -> Result<CalibrationMap, String> {
+    let v = crate::json::parse(text)?;
+    let rate = |x: &crate::json::Value, what: &str| -> Result<f64, String> {
+        let e = x
+            .get("error")
+            .and_then(|e| e.as_num())
+            .ok_or_else(|| format!("{what} entry missing numeric \"error\""))?;
+        if !(0.0..=1.0).contains(&e) {
+            return Err(format!("{what} error rate {e} outside [0, 1]"));
+        }
+        Ok(e)
+    };
+    let default = match v.get("default_edge_error") {
+        Some(d) => d
+            .as_num()
+            .filter(|e| (0.0..=1.0).contains(e))
+            .ok_or("\"default_edge_error\" must be a rate in [0, 1]")?,
+        None => 0.0,
+    };
+    let mut cal = CalibrationMap::uniform(graph.n_qubits(), default);
+    if let Some(edges) = v.get("edges") {
+        let edges = edges.as_arr().ok_or("\"edges\" must be an array")?;
+        for e in edges {
+            let u = e
+                .get("u")
+                .and_then(|x| x.as_num())
+                .ok_or("edge missing \"u\"")? as usize;
+            let v = e
+                .get("v")
+                .and_then(|x| x.as_num())
+                .ok_or("edge missing \"v\"")? as usize;
+            if u >= graph.n_qubits() || v >= graph.n_qubits() || !graph.are_adjacent(u, v) {
+                return Err(format!("calibration edge {u}-{v} is not a device coupling"));
+            }
+            cal.set_edge_error(u, v, rate(e, "edge")?);
+        }
+    }
+    if let Some(qubits) = v.get("qubits") {
+        let qubits = qubits.as_arr().ok_or("\"qubits\" must be an array")?;
+        for q in qubits {
+            let i = q
+                .get("q")
+                .and_then(|x| x.as_num())
+                .ok_or("qubit missing \"q\"")? as usize;
+            if i >= graph.n_qubits() {
+                return Err(format!("calibration qubit {i} out of device range"));
+            }
+            cal.set_qubit_error(i, rate(q, "qubit")?);
+        }
+    }
+    Ok(cal)
 }
 
 /// Builds a backend from its wire name: `tetris`, `tetris-nolookahead`,
@@ -212,6 +322,63 @@ mod tests {
         assert!(device("torus-3").is_none());
         assert!(device("line-0").is_none());
         assert!(device("grid-1000x1000").is_none(), "size bound enforced");
+    }
+
+    #[test]
+    fn calibrated_device_names_resolve() {
+        let plain = device("heavy-hex").unwrap();
+        let cal = device("heavy-hex!cal-s7").unwrap();
+        assert_eq!(cal.n_qubits(), 65);
+        assert!(!cal.is_unit_weight());
+        assert_eq!(cal.edges(), plain.edges(), "calibration keeps the wiring");
+        assert_ne!(cal.fingerprint(), plain.fingerprint());
+        let again = device("heavy-hex!cal-s7").unwrap();
+        assert_eq!(cal.fingerprint(), again.fingerprint(), "deterministic");
+        assert_ne!(
+            cal.fingerprint(),
+            device("heavy-hex!cal-s8").unwrap().fingerprint(),
+            "seed must matter"
+        );
+
+        let hot = device("line-6!hot-2-3-e500").unwrap();
+        assert_eq!(hot.edge_weight(2, 3), Some(501));
+        assert_eq!(hot.edge_weight(0, 1), Some(1));
+        assert!(device("line-6!hot-2-4-e500").is_none(), "not a coupling");
+        assert!(device("line-6!hot-2-3-e2000").is_none(), "rate over 100%");
+        assert!(device("line-6!frob-1").is_none(), "unknown suffix");
+        assert!(device("nosuch!cal-s1").is_none(), "unknown base device");
+    }
+
+    #[test]
+    fn calibration_json_roundtrip_and_validation() {
+        let g = device("line-4").unwrap();
+        let cal = calibration_from_json(
+            &g,
+            r#"{ "default_edge_error": 0.01,
+                 "edges":  [ { "u": 1, "v": 2, "error": 0.2 } ],
+                 "qubits": [ { "q": 3, "error": 0.04 } ] }"#,
+        )
+        .expect("valid calibration");
+        assert_eq!(cal.edge_error(1, 2), 0.2);
+        assert_eq!(cal.edge_error(0, 1), 0.01, "default applies elsewhere");
+        assert_eq!(cal.qubit_error(3), 0.04);
+        assert!(cal.bad_qubits(0.02).contains(3));
+
+        assert!(calibration_from_json(&g, "{").is_err(), "bad json");
+        assert!(
+            calibration_from_json(&g, r#"{ "edges": [ { "u": 0, "v": 2, "error": 0.1 } ] }"#)
+                .is_err(),
+            "non-adjacent edge rejected"
+        );
+        assert!(
+            calibration_from_json(&g, r#"{ "edges": [ { "u": 0, "v": 1, "error": 1.5 } ] }"#)
+                .is_err(),
+            "rate out of range"
+        );
+        assert!(
+            calibration_from_json(&g, r#"{ "qubits": [ { "q": 9, "error": 0.1 } ] }"#).is_err(),
+            "qubit out of range"
+        );
     }
 
     #[test]

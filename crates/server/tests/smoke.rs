@@ -440,6 +440,8 @@ fn observability_endpoints_expose_metrics_traces_and_shards() {
         "tetris_http_requests_total{route=\"/batch\",class=\"2xx\"}",
         "tetris_http_request_seconds_bucket",
         "tetris_server_jobs",
+        "tetris_dist_rows_computed_total",
+        "tetris_dist_row_hits_total",
     ] {
         assert!(
             metrics.contains(series),

@@ -1,0 +1,194 @@
+//! Device calibration maps: per-edge and per-qubit error rates.
+//!
+//! A [`CalibrationMap`] is the noise side-channel of a coupling graph: it
+//! carries two-qubit gate error rates per coupling and readout/idle error
+//! rates per qubit. [`CouplingGraph::with_calibration`] turns the edge
+//! errors into integer edge weights (`1 + round(error × 1000)`), which
+//! makes every `dist`-driven cost — SABRE scoring, avoidance routing —
+//! fidelity-aware, and [`CalibrationMap::bad_qubits`] feeds
+//! [`CouplingGraph::carve_avoiding`] so region carving skips qubits above
+//! an error threshold.
+//!
+//! Maps come from three places: [`CalibrationMap::uniform`] (a flat
+//! baseline), [`CalibrationMap::synthetic`] (a seeded random spread for
+//! benches and tests), and the server registry's JSON loader (the
+//! wire format documented on [`CalibrationMap::set_edge_error`] /
+//! README "Topology & routing").
+//!
+//! [`CouplingGraph::with_calibration`]: crate::CouplingGraph::with_calibration
+//! [`CouplingGraph::carve_avoiding`]: crate::CouplingGraph::carve_avoiding
+
+use std::collections::BTreeMap;
+use tetris_pauli::mask::QubitMask;
+use tetris_pauli::rng::{rngs::StdRng, Rng, SeedableRng};
+
+/// Per-device calibration data: a default two-qubit error rate, sparse
+/// per-edge overrides, and per-qubit error rates.
+///
+/// Error rates are probabilities in `[0, 1]`. Edge keys are unordered
+/// (stored with `u < v`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationMap {
+    n: usize,
+    default_edge_error: f64,
+    edge_error: BTreeMap<(usize, usize), f64>,
+    qubit_error: Vec<f64>,
+}
+
+impl CalibrationMap {
+    /// A map where every edge has error `edge_error` and every qubit 0.
+    pub fn uniform(n: usize, edge_error: f64) -> Self {
+        assert!((0.0..=1.0).contains(&edge_error), "error rate out of range");
+        CalibrationMap {
+            n,
+            default_edge_error: edge_error,
+            edge_error: BTreeMap::new(),
+            qubit_error: vec![0.0; n],
+        }
+    }
+
+    /// A seeded synthetic map modeled on published heavy-hex calibration
+    /// spreads: per-edge errors log-uniform-ish in `[0.003, 0.03]` and
+    /// per-qubit readout errors in `[0.01, 0.05]`, deterministic in
+    /// `(n, seed)` across platforms (splitmix64).
+    pub fn synthetic(g: &crate::CouplingGraph, seed: u64) -> Self {
+        let n = g.n_qubits();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7e72_15ca_11b7_a7ed);
+        let mut map = CalibrationMap::uniform(n, 0.01);
+        for (u, v) in g.edges() {
+            map.set_edge_error(u, v, rng.gen_range(0.003..0.03));
+        }
+        for q in 0..n {
+            map.set_qubit_error(q, rng.gen_range(0.01..0.05));
+        }
+        map
+    }
+
+    /// Number of qubits this map calibrates.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the two-qubit error rate of coupling `u–v` (order-insensitive).
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, `u == v`, or a rate outside
+    /// `[0, 1]`.
+    pub fn set_edge_error(&mut self, u: usize, v: usize, error: f64) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        assert_ne!(u, v, "self-loops are not couplings");
+        assert!((0.0..=1.0).contains(&error), "error rate out of range");
+        self.edge_error.insert((u.min(v), u.max(v)), error);
+    }
+
+    /// Sets the per-qubit (readout/idle) error rate of `q`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range qubit or a rate outside `[0, 1]`.
+    pub fn set_qubit_error(&mut self, q: usize, error: f64) {
+        assert!(q < self.n, "qubit out of range");
+        assert!((0.0..=1.0).contains(&error), "error rate out of range");
+        self.qubit_error[q] = error;
+    }
+
+    /// The two-qubit error rate of coupling `u–v` (override or default).
+    pub fn edge_error(&self, u: usize, v: usize) -> f64 {
+        *self
+            .edge_error
+            .get(&(u.min(v), u.max(v)))
+            .unwrap_or(&self.default_edge_error)
+    }
+
+    /// The per-qubit error rate of `q`.
+    pub fn qubit_error(&self, q: usize) -> f64 {
+        self.qubit_error[q]
+    }
+
+    /// Quantizes the edge error into the integer weight used by weighted
+    /// distance rows: `1 + round(error × 1000)`. Weight 1 ≙ a perfect
+    /// coupling, so unit-weight semantics are the zero-noise limit; one
+    /// weight step ≙ 0.1% of two-qubit error.
+    pub fn edge_weight(&self, u: usize, v: usize) -> u32 {
+        1 + (self.edge_error(u, v).clamp(0.0, 1.0) * 1000.0).round() as u32
+    }
+
+    /// Qubits whose per-qubit error rate strictly exceeds `threshold` —
+    /// the avoid-set for
+    /// [`carve_avoiding`](crate::CouplingGraph::carve_avoiding).
+    pub fn bad_qubits(&self, threshold: f64) -> QubitMask {
+        let mut m = QubitMask::empty(self.n);
+        for (q, &e) in self.qubit_error.iter().enumerate() {
+            if e > threshold {
+                m.insert(q);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CouplingGraph;
+
+    #[test]
+    fn uniform_defaults_and_overrides() {
+        let mut cal = CalibrationMap::uniform(5, 0.01);
+        assert_eq!(cal.edge_error(0, 1), 0.01);
+        cal.set_edge_error(3, 1, 0.25);
+        assert_eq!(cal.edge_error(1, 3), 0.25, "order-insensitive");
+        assert_eq!(cal.edge_error(3, 1), 0.25);
+        assert_eq!(cal.edge_weight(1, 3), 1 + 250);
+        assert_eq!(cal.edge_weight(0, 1), 1 + 10);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_in_range() {
+        let g = CouplingGraph::heavy_hex_65();
+        let a = CalibrationMap::synthetic(&g, 42);
+        let b = CalibrationMap::synthetic(&g, 42);
+        assert_eq!(a, b);
+        let c = CalibrationMap::synthetic(&g, 43);
+        assert_ne!(a, c);
+        for (u, v) in g.edges() {
+            let e = a.edge_error(u, v);
+            assert!((0.003..0.03).contains(&e), "edge error {e} out of band");
+        }
+        for q in 0..g.n_qubits() {
+            let e = a.qubit_error(q);
+            assert!((0.01..0.05).contains(&e), "qubit error {e} out of band");
+        }
+    }
+
+    #[test]
+    fn bad_qubits_thresholds() {
+        let mut cal = CalibrationMap::uniform(6, 0.01);
+        cal.set_qubit_error(2, 0.2);
+        cal.set_qubit_error(5, 0.09);
+        let bad = cal.bad_qubits(0.1);
+        assert_eq!(bad.iter().collect::<Vec<_>>(), vec![2]);
+        let bad_lo = cal.bad_qubits(0.05);
+        assert_eq!(bad_lo.iter().collect::<Vec<_>>(), vec![2, 5]);
+    }
+
+    #[test]
+    fn calibrated_graph_prefers_clean_edges() {
+        // Line 0-1-2-3 plus shortcut 0-3; make the shortcut hot.
+        let g = CouplingGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)], "shortcut");
+        assert_eq!(g.dist(0, 3), 1, "unweighted takes the shortcut");
+        let mut cal = CalibrationMap::uniform(4, 0.0);
+        cal.set_edge_error(0, 3, 0.5);
+        let w = g.with_calibration(&cal);
+        assert_eq!(w.name(), "shortcut+cal");
+        assert!(!w.is_unit_weight());
+        assert_eq!(w.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+        assert_ne!(
+            w.fingerprint(),
+            g.fingerprint(),
+            "calibrated wiring gets its own cache key"
+        );
+        // Zero-noise calibration keeps the wiring's cache key.
+        let flat = g.with_calibration(&CalibrationMap::uniform(4, 0.0));
+        assert_eq!(flat.fingerprint(), g.fingerprint());
+    }
+}

@@ -1,28 +1,109 @@
-//! Undirected coupling graphs with precomputed all-pairs distances.
+//! Undirected coupling graphs in CSR form with lazily-cached distance rows.
+//!
+//! Adjacency is a flat CSR pair (`first_out`/`head`, plus a parallel
+//! `weight` array) instead of per-node `Vec`s, and the old eager O(V²)
+//! all-pairs BFS matrix is gone: the first `dist(u, _)` query runs one
+//! single-source pass (BFS on unit-weight graphs, decrease-key Dijkstra on
+//! weighted ones) and memoizes the row in a per-node [`OnceLock`] slot.
+//! Reads of a cached row are lock-free, and concurrent pool workers that
+//! race on the same uncomputed row deduplicate to a single pass. Building a
+//! 4096-qubit device therefore allocates O(V + E), not O(V²).
+//!
+//! Edge weights come from a [`CalibrationMap`](crate::CalibrationMap)
+//! (per-edge error rates quantized to integer weights), which makes
+//! `dist`-based cost functions — SABRE scoring, `shortest_path_avoiding` —
+//! fidelity-aware with no changes at the call sites.
 
 use crate::region::Region;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use tetris_pauli::mask::QubitMask;
 
 /// Distance marker for unreachable pairs.
 pub const UNREACHABLE: u32 = u32::MAX;
 
-/// An undirected hardware coupling graph.
-///
-/// Two-qubit gates may only act on adjacent physical qubits. All-pairs
-/// shortest-path distances are precomputed at construction (BFS per node;
-/// the devices in this workspace have ≤ 65 qubits, so this is negligible).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CouplingGraph {
-    n: usize,
-    adj: Vec<Vec<usize>>,
-    dist: Vec<u32>, // row-major n×n
-    name: String,
+/// Process-wide count of distance rows computed (cache misses).
+static ROWS_COMPUTED_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of already-cached rows served via [`CouplingGraph::dist_row`].
+static ROW_HITS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide row-cache counters `(rows_computed, row_hits)`, for the
+/// `/metrics` exporter (`tetris_dist_rows_computed_total` /
+/// `tetris_dist_row_hits_total`). Monotone over the process lifetime.
+pub fn global_row_stats() -> (u64, u64) {
+    (
+        ROWS_COMPUTED_TOTAL.load(Ordering::Relaxed),
+        ROW_HITS_TOTAL.load(Ordering::Relaxed),
+    )
 }
 
+/// Per-graph row-cache counters (see [`CouplingGraph::row_stats`]).
+#[derive(Debug, Default)]
+struct RowStats {
+    computed: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// An undirected hardware coupling graph.
+///
+/// Two-qubit gates may only act on adjacent physical qubits. Distances are
+/// computed lazily per source node and cached; adjacency checks go through
+/// packed per-node bitmask rows and never force a distance row.
+#[derive(Debug)]
+pub struct CouplingGraph {
+    n: usize,
+    /// CSR offsets: the out-edges of `u` are `head[first_out[u]..first_out[u+1]]`.
+    first_out: Vec<u32>,
+    /// CSR edge targets, ascending within each node's range.
+    head: Vec<u32>,
+    /// Edge weights parallel to `head` (all 1 on unit graphs).
+    weight: Vec<u32>,
+    /// Whether rows are computed with BFS (`from_edges`) or Dijkstra
+    /// (`from_weighted_edges` — even when every weight is 1, so the
+    /// Dijkstra path stays exercised by unit-weight property tests).
+    unit: bool,
+    name: String,
+    /// Lazily-computed single-source distance rows.
+    rows: Vec<OnceLock<Box<[u32]>>>,
+    /// Lazily-computed packed adjacency rows for O(1) `are_adjacent`.
+    adj_rows: Vec<OnceLock<QubitMask>>,
+    stats: RowStats,
+}
+
+impl Clone for CouplingGraph {
+    /// Clones the structure; row caches start empty in the clone.
+    fn clone(&self) -> Self {
+        CouplingGraph {
+            n: self.n,
+            first_out: self.first_out.clone(),
+            head: self.head.clone(),
+            weight: self.weight.clone(),
+            unit: self.unit,
+            name: self.name.clone(),
+            rows: (0..self.n).map(|_| OnceLock::new()).collect(),
+            adj_rows: (0..self.n).map(|_| OnceLock::new()).collect(),
+            stats: RowStats::default(),
+        }
+    }
+}
+
+impl PartialEq for CouplingGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.first_out == other.first_out
+            && self.head == other.head
+            && self.weight == other.weight
+            && self.unit == other.unit
+            && self.name == other.name
+    }
+}
+
+impl Eq for CouplingGraph {}
+
 impl CouplingGraph {
-    /// Builds a graph from an edge list.
+    /// Builds a unit-weight graph from an edge list.
     ///
     /// # Panics
     /// Panics if an endpoint is out of range or an edge is a self-loop.
@@ -31,47 +112,94 @@ impl CouplingGraph {
         edges: impl IntoIterator<Item = (usize, usize)>,
         name: impl Into<String>,
     ) -> Self {
-        let mut adj = vec![Vec::new(); n];
-        for (u, v) in edges {
+        Self::build(
+            n,
+            edges.into_iter().map(|(u, v)| (u, v, 1)),
+            name.into(),
+            true,
+        )
+    }
+
+    /// Builds a weighted graph from `(u, v, w)` edges. Weights must be ≥ 1
+    /// (a zero-weight coupling would make "distance" meaningless as a swap
+    /// cost). Distance rows use decrease-key Dijkstra even when every
+    /// weight is 1.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-loops, or zero weights.
+    pub fn from_weighted_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize, u32)>,
+        name: impl Into<String>,
+    ) -> Self {
+        Self::build(n, edges.into_iter(), name.into(), false)
+    }
+
+    fn build(
+        n: usize,
+        edges: impl Iterator<Item = (usize, usize, u32)>,
+        name: String,
+        unit: bool,
+    ) -> Self {
+        // Collect per-node (neighbor, weight) pairs, first occurrence wins,
+        // then sort each node's list ascending — the canonical order every
+        // downstream tie-break relies on.
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for (u, v, w) in edges {
             assert!(u < n && v < n, "edge endpoint out of range");
             assert_ne!(u, v, "self-loops are not couplings");
-            if !adj[u].contains(&v) {
-                adj[u].push(v);
-                adj[v].push(u);
+            assert!(w >= 1, "edge weights must be ≥ 1");
+            if !adj[u].iter().any(|&(x, _)| x == v as u32) {
+                adj[u].push((v as u32, w));
+                adj[v].push((u as u32, w));
             }
         }
         for l in &mut adj {
             l.sort_unstable();
         }
-        let mut g = CouplingGraph {
+        let mut first_out = Vec::with_capacity(n + 1);
+        let mut head = Vec::new();
+        let mut weight = Vec::new();
+        first_out.push(0);
+        for l in &adj {
+            for &(v, w) in l {
+                head.push(v);
+                weight.push(w);
+            }
+            first_out.push(head.len() as u32);
+        }
+        CouplingGraph {
             n,
-            adj,
-            dist: Vec::new(),
-            name: name.into(),
-        };
-        g.dist = g.compute_all_pairs();
-        g
+            first_out,
+            head,
+            weight,
+            unit,
+            name,
+            rows: (0..n).map(|_| OnceLock::new()).collect(),
+            adj_rows: (0..n).map(|_| OnceLock::new()).collect(),
+            stats: RowStats::default(),
+        }
     }
 
-    fn compute_all_pairs(&self) -> Vec<u32> {
-        let mut dist = vec![UNREACHABLE; self.n * self.n];
-        let mut queue = VecDeque::new();
-        for s in 0..self.n {
-            let row = &mut dist[s * self.n..(s + 1) * self.n];
-            row[s] = 0;
-            queue.clear();
-            queue.push_back(s);
-            while let Some(u) = queue.pop_front() {
-                let du = row[u];
-                for &v in &self.adj[u] {
-                    if row[v] == UNREACHABLE {
-                        row[v] = du + 1;
-                        queue.push_back(v);
-                    }
-                }
-            }
-        }
-        dist
+    /// Reweights this topology from a calibration map: every edge's weight
+    /// becomes `1 + round(error × 1000)` (see
+    /// [`CalibrationMap::edge_weight`](crate::CalibrationMap::edge_weight)),
+    /// so weighted distances — and with them SABRE's cost function — prefer
+    /// low-error couplings. The wiring is unchanged.
+    ///
+    /// # Panics
+    /// Panics if the calibration map is for a different device width.
+    pub fn with_calibration(&self, cal: &crate::CalibrationMap) -> CouplingGraph {
+        assert_eq!(
+            cal.n_qubits(),
+            self.n,
+            "calibration map is for a different device width"
+        );
+        let edges = self
+            .edges()
+            .into_iter()
+            .map(|(u, v)| (u, v, cal.edge_weight(u, v)));
+        Self::build(self.n, edges, format!("{}+cal", self.name), false)
     }
 
     /// Number of physical qubits.
@@ -85,23 +213,176 @@ impl CouplingGraph {
         &self.name
     }
 
+    /// Whether all couplings carry unit weight semantics (built by
+    /// [`from_edges`](CouplingGraph::from_edges); distance = hop count).
+    #[inline]
+    pub fn is_unit_weight(&self) -> bool {
+        self.unit
+    }
+
+    #[inline]
+    fn csr_range(&self, u: usize) -> std::ops::Range<usize> {
+        self.first_out[u] as usize..self.first_out[u + 1] as usize
+    }
+
     /// Neighbors of physical qubit `u`, ascending.
     #[inline]
-    pub fn neighbors(&self, u: usize) -> &[usize] {
-        &self.adj[u]
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.head[self.csr_range(u)].iter().map(|&v| v as usize)
     }
 
-    /// Whether `u` and `v` are coupled.
+    /// Degree of physical qubit `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.first_out[u + 1] - self.first_out[u]) as usize
+    }
+
+    /// Packed adjacency row of `u` (lazily built, then cached — O(V/64)
+    /// words, never a distance-row materialization).
+    pub fn adjacency_row(&self, u: usize) -> &QubitMask {
+        self.adj_rows[u].get_or_init(|| {
+            let mut m = QubitMask::empty(self.n);
+            for v in self.neighbors(u) {
+                m.insert(v);
+            }
+            m
+        })
+    }
+
+    /// Whether `u` and `v` are coupled — an O(1) bit test against the
+    /// packed adjacency row.
     #[inline]
     pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
-        self.dist(u, v) == 1
+        self.adjacency_row(u).contains(v)
     }
 
-    /// Shortest-path distance (hops) between `u` and `v`; [`UNREACHABLE`] if
+    /// Weight of the coupling `u–v`, or `None` if not adjacent.
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<u32> {
+        let r = self.csr_range(u);
+        self.head[r.clone()]
+            .iter()
+            .position(|&h| h as usize == v)
+            .map(|i| self.weight[r.start + i])
+    }
+
+    /// The cached distance row of `u`, computing it on first access. Reads
+    /// of an already-computed row are lock-free; concurrent first accesses
+    /// deduplicate to one single-source pass.
+    fn row(&self, u: usize) -> &[u32] {
+        self.rows[u].get_or_init(|| {
+            self.stats.computed.fetch_add(1, Ordering::Relaxed);
+            ROWS_COMPUTED_TOTAL.fetch_add(1, Ordering::Relaxed);
+            if self.unit {
+                self.bfs_row(u)
+            } else {
+                self.dijkstra_row(u)
+            }
+        })
+    }
+
+    /// The full distance row of source `u` (`row[v] == dist(u, v)`).
+    ///
+    /// This is the row-granular accessor: callers that iterate many
+    /// targets against one source (cluster centering, benches) should
+    /// fetch the row once instead of calling [`dist`](CouplingGraph::dist)
+    /// per pair. Cache hits are counted here (misses count as computed
+    /// rows); the per-pair `dist` path deliberately skips counting to keep
+    /// SABRE's inner loop free of shared-atomic traffic.
+    pub fn dist_row(&self, u: usize) -> &[u32] {
+        if let Some(r) = self.rows[u].get() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            ROW_HITS_TOTAL.fetch_add(1, Ordering::Relaxed);
+            return r;
+        }
+        self.row(u)
+    }
+
+    /// Per-graph row-cache counters `(rows_computed, row_hits)`.
+    pub fn row_stats(&self) -> (u64, u64) {
+        (
+            self.stats.computed.load(Ordering::Relaxed),
+            self.stats.hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distance rows currently materialized.
+    pub fn rows_cached(&self) -> usize {
+        self.rows.iter().filter(|r| r.get().is_some()).count()
+    }
+
+    /// Approximate heap footprint in bytes: CSR arrays, row-slot tables,
+    /// and whichever distance/adjacency rows have actually been computed.
+    /// Right after construction this is O(V + E) — the bound the
+    /// `graph_ops` bench gates against eager O(V²) regressions.
+    pub fn memory_footprint(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.first_out.capacity() * size_of::<u32>()
+            + self.head.capacity() * size_of::<u32>()
+            + self.weight.capacity() * size_of::<u32>()
+            + self.rows.capacity() * size_of::<OnceLock<Box<[u32]>>>()
+            + self.adj_rows.capacity() * size_of::<OnceLock<QubitMask>>();
+        for r in &self.rows {
+            if r.get().is_some() {
+                bytes += self.n * size_of::<u32>();
+            }
+        }
+        for r in &self.adj_rows {
+            if let Some(m) = r.get() {
+                bytes += std::mem::size_of_val(m.words());
+            }
+        }
+        bytes
+    }
+
+    /// Shortest-path distance between `u` and `v` (hops on unit graphs,
+    /// summed edge weight on weighted ones); [`UNREACHABLE`] if
     /// disconnected.
     #[inline]
     pub fn dist(&self, u: usize, v: usize) -> u32 {
-        self.dist[u * self.n + v]
+        self.row(u)[v]
+    }
+
+    fn bfs_row(&self, s: usize) -> Box<[u32]> {
+        let mut row = vec![UNREACHABLE; self.n].into_boxed_slice();
+        row[s] = 0;
+        let mut queue = VecDeque::with_capacity(self.n.min(1024));
+        queue.push_back(s as u32);
+        while let Some(u) = queue.pop_front() {
+            let du = row[u as usize];
+            for i in self.csr_range(u as usize) {
+                let v = self.head[i];
+                if row[v as usize] == UNREACHABLE {
+                    row[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        row
+    }
+
+    /// One-to-many Dijkstra over the CSR arrays with a decrease-key heap:
+    /// every node starts in the heap at [`UNREACHABLE`], relaxations
+    /// decrease keys in place, and the pass stops early once the popped
+    /// minimum is [`UNREACHABLE`] (everything left is disconnected).
+    fn dijkstra_row(&self, s: usize) -> Box<[u32]> {
+        let mut row = vec![UNREACHABLE; self.n].into_boxed_slice();
+        let mut heap = DecreaseKeyHeap::new(self.n);
+        heap.decrease(s as u32, 0);
+        while let Some((u, du)) = heap.pop_min() {
+            if du == UNREACHABLE {
+                break;
+            }
+            row[u as usize] = du;
+            for i in self.csr_range(u as usize) {
+                let v = self.head[i];
+                // No overflow: du ≤ Σ weights ≤ n · 1001 ≪ u32::MAX.
+                let nd = du + self.weight[i];
+                if heap.contains(v) && nd < heap.key(v) {
+                    heap.decrease(v, nd);
+                }
+            }
+        }
+        row
     }
 
     /// A stable 64-bit content fingerprint of the topology — the device
@@ -110,7 +391,10 @@ impl CouplingGraph {
     /// Covers the qubit count and the (sorted, deduplicated) edge list via
     /// FNV-1a; the device [`name`](CouplingGraph::name) is presentation-only
     /// and excluded, so two identically-wired devices hash equal regardless
-    /// of label. Stable across platforms and releases by construction.
+    /// of label. Edge weights are absorbed only when some weight differs
+    /// from 1, which keeps unweighted fingerprints — and with them every
+    /// cache key and golden digest — bit-identical to the pre-weighted
+    /// releases while still separating calibrated variants of one wiring.
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -122,20 +406,29 @@ impl CouplingGraph {
             }
         };
         absorb(self.n as u64);
-        // Adjacency lists are sorted at construction, so this iteration
-        // order is canonical for the edge set.
-        for (u, v) in self.edges() {
-            absorb(u as u64);
-            absorb(v as u64);
+        let weighted = self.weight.iter().any(|&w| w != 1);
+        // CSR adjacency is sorted at construction, so this iteration order
+        // is canonical for the edge set.
+        for u in 0..self.n {
+            for i in self.csr_range(u) {
+                let v = self.head[i] as usize;
+                if u < v {
+                    absorb(u as u64);
+                    absorb(v as u64);
+                    if weighted {
+                        absorb(self.weight[i] as u64);
+                    }
+                }
+            }
         }
         state
     }
 
     /// Edge list with `u < v`.
     pub fn edges(&self) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.head.len() / 2);
         for u in 0..self.n {
-            for &v in &self.adj[u] {
+            for v in self.neighbors(u) {
                 if u < v {
                     out.push((u, v));
                 }
@@ -144,19 +437,41 @@ impl CouplingGraph {
         out
     }
 
+    /// Edge list with `u < v` and weights.
+    pub fn weighted_edges(&self) -> Vec<(usize, usize, u32)> {
+        let mut out = Vec::with_capacity(self.head.len() / 2);
+        for u in 0..self.n {
+            for i in self.csr_range(u) {
+                let v = self.head[i] as usize;
+                if u < v {
+                    out.push((u, v, self.weight[i]));
+                }
+            }
+        }
+        out
+    }
+
     /// A shortest path from `u` to `v` (inclusive of both), or `None` if
     /// disconnected. Ties broken toward smaller qubit indices
-    /// (deterministic).
+    /// (deterministic). Materializes only the distance row of `v`
+    /// (distances are symmetric on an undirected graph).
     pub fn shortest_path(&self, u: usize, v: usize) -> Option<Vec<usize>> {
-        if self.dist(u, v) == UNREACHABLE {
+        let rv = self.row(v);
+        if rv[u] == UNREACHABLE {
             return None;
         }
         let mut path = vec![u];
         let mut cur = u;
         while cur != v {
-            let next = *self.adj[cur]
-                .iter()
-                .find(|&&w| self.dist(w, v) < self.dist(cur, v))
+            // The first (smallest-index) neighbor on some shortest path:
+            // edge weight + remaining distance equals the current distance.
+            let next = self
+                .csr_range(cur)
+                .find(|&i| {
+                    let w = self.head[i] as usize;
+                    rv[w] != UNREACHABLE && self.weight[i] + rv[w] == rv[cur]
+                })
+                .map(|i| self.head[i] as usize)
                 .expect("distance decreases along a shortest path");
             path.push(next);
             cur = next;
@@ -166,8 +481,23 @@ impl CouplingGraph {
 
     /// A shortest path from `u` to `v` that avoids the `blocked` predicate on
     /// interior nodes (endpoints are always allowed). Used by Algorithm 1 so
-    /// routing a qubit never disturbs already-placed tree qubits.
+    /// routing a qubit never disturbs already-placed tree qubits. On
+    /// weighted graphs "shortest" means minimum summed edge weight, so the
+    /// detour is fidelity-aware.
     pub fn shortest_path_avoiding(
+        &self,
+        u: usize,
+        v: usize,
+        blocked: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        if self.unit {
+            self.bfs_path_avoiding(u, v, blocked)
+        } else {
+            self.dijkstra_path_avoiding(u, v, blocked)
+        }
+    }
+
+    fn bfs_path_avoiding(
         &self,
         u: usize,
         v: usize,
@@ -180,16 +510,9 @@ impl CouplingGraph {
         queue.push_back(u);
         while let Some(x) = queue.pop_front() {
             if x == v {
-                let mut path = vec![v];
-                let mut cur = v;
-                while cur != u {
-                    cur = prev[cur];
-                    path.push(cur);
-                }
-                path.reverse();
-                return Some(path);
+                return Some(Self::unwind(&prev, u, v));
             }
-            for &w in &self.adj[x] {
+            for w in self.neighbors(x) {
                 if seen[w] || (w != v && blocked(w)) {
                     continue;
                 }
@@ -201,9 +524,57 @@ impl CouplingGraph {
         None
     }
 
+    fn dijkstra_path_avoiding(
+        &self,
+        u: usize,
+        v: usize,
+        blocked: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        let mut prev = vec![usize::MAX; self.n];
+        let mut heap = DecreaseKeyHeap::new(self.n);
+        heap.decrease(u as u32, 0);
+        while let Some((x, dx)) = heap.pop_min() {
+            if dx == UNREACHABLE {
+                break;
+            }
+            let x = x as usize;
+            if x == v {
+                return Some(Self::unwind(&prev, u, v));
+            }
+            if x != u && blocked(x) {
+                // Popped but never relaxed: blocked interior nodes don't
+                // extend paths. (Endpoints are always allowed.)
+                continue;
+            }
+            for i in self.csr_range(x) {
+                let w = self.head[i];
+                if w as usize != v && blocked(w as usize) {
+                    continue;
+                }
+                let nd = dx + self.weight[i];
+                if heap.contains(w) && nd < heap.key(w) {
+                    heap.decrease(w, nd);
+                    prev[w as usize] = x;
+                }
+            }
+        }
+        None
+    }
+
+    fn unwind(prev: &[usize], u: usize, v: usize) -> Vec<usize> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != u {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
     /// Whether the graph is connected.
     pub fn is_connected(&self) -> bool {
-        (0..self.n).all(|v| self.dist(0, v) != UNREACHABLE)
+        self.n == 0 || self.row(0).iter().all(|&d| d != UNREACHABLE)
     }
 
     // ---------------------------------------------------------------------
@@ -222,14 +593,23 @@ impl CouplingGraph {
     /// candidate region is only accepted when the remaining free
     /// components can still host every remaining size.
     pub fn carve(&self, sizes: &[usize]) -> Option<Vec<Region>> {
-        if sizes.is_empty() || sizes.contains(&0) || sizes.iter().sum::<usize>() > self.n {
+        self.carve_avoiding(sizes, &QubitMask::empty(self.n))
+    }
+
+    /// Like [`carve`](CouplingGraph::carve), but the qubits in `avoid` are
+    /// never placed in any region — the noise-aware mode, fed from
+    /// [`CalibrationMap::bad_qubits`](crate::CalibrationMap::bad_qubits) so
+    /// regions route around qubits whose error rate exceeds a threshold.
+    pub fn carve_avoiding(&self, sizes: &[usize], avoid: &QubitMask) -> Option<Vec<Region>> {
+        let mut free = QubitMask::full(self.n);
+        free.subtract(avoid);
+        if sizes.is_empty() || sizes.contains(&0) || sizes.iter().sum::<usize>() > free.count() {
             return None;
         }
         // Largest-first carve order, stable over the input order.
         let mut order: Vec<usize> = (0..sizes.len()).collect();
         order.sort_by_key(|&i| (std::cmp::Reverse(sizes[i]), i));
 
-        let mut free = QubitMask::full(self.n);
         let mut out: Vec<Option<Region>> = vec![None; sizes.len()];
         for (k, &si) in order.iter().enumerate() {
             let remaining: Vec<usize> = order[k + 1..].iter().map(|&j| sizes[j]).collect();
@@ -250,7 +630,7 @@ impl CouplingGraph {
     fn carve_one(&self, size: usize, free: &QubitMask, remaining: &[usize]) -> Option<QubitMask> {
         // Corner-first seed order: fewest free neighbors, then index.
         let mut seeds: Vec<usize> = free.iter().collect();
-        seeds.sort_by_key(|&q| (self.adj[q].iter().filter(|&&v| free.contains(v)).count(), q));
+        seeds.sort_by_key(|&q| (self.neighbors(q).filter(|&v| free.contains(v)).count(), q));
         for &seed in &seeds {
             let Some(mask) = self.grow_region(seed, size, free) else {
                 continue;
@@ -274,11 +654,11 @@ impl CouplingGraph {
         while region.count() < size {
             let mut best: Option<(usize, usize)> = None; // (score, qubit)
             for q in region.iter() {
-                for &v in &self.adj[q] {
+                for v in self.neighbors(q) {
                     if !free.contains(v) || region.contains(v) {
                         continue;
                     }
-                    let score = self.adj[v].iter().filter(|&&w| region.contains(w)).count();
+                    let score = self.neighbors(v).filter(|&w| region.contains(w)).count();
                     let better = match best {
                         None => true,
                         Some((bs, bq)) => score > bs || (score == bs && v < bq),
@@ -303,7 +683,7 @@ impl CouplingGraph {
             queue.clear();
             queue.push_back(start);
             while let Some(u) = queue.pop_front() {
-                for &v in &self.adj[u] {
+                for v in self.neighbors(u) {
                     if unseen.contains(v) {
                         unseen.remove(v);
                         count += 1;
@@ -341,7 +721,9 @@ impl CouplingGraph {
     /// [`Region::to_local`]). The induced graph's
     /// [`fingerprint`](CouplingGraph::fingerprint) therefore depends only
     /// on the local wiring, so isomorphically-carved regions share
-    /// compilation cache entries.
+    /// compilation cache entries. Edge weights (and the BFS-vs-Dijkstra
+    /// mode) carry over. Cost is O(region edges) — no distance rows are
+    /// computed or copied.
     ///
     /// # Panics
     /// Panics if the region belongs to a different device width.
@@ -353,19 +735,25 @@ impl CouplingGraph {
         );
         let mut edges = Vec::new();
         for (lu, gu) in region.iter_globals().enumerate() {
-            for &gv in &self.adj[gu] {
+            for i in self.csr_range(gu) {
+                let gv = self.head[i] as usize;
                 if gv > gu {
                     if let Some(lv) = region.to_local(gv) {
-                        edges.push((lu, lv));
+                        edges.push((lu, lv, self.weight[i]));
                     }
                 }
             }
         }
-        CouplingGraph::from_edges(
-            region.len(),
-            edges,
-            format!("{}/r{:08x}", self.name, region.fingerprint() as u32),
-        )
+        let name = format!("{}/r{:08x}", self.name, region.fingerprint() as u32);
+        if self.unit {
+            CouplingGraph::from_edges(
+                region.len(),
+                edges.into_iter().map(|(u, v, _)| (u, v)),
+                name,
+            )
+        } else {
+            CouplingGraph::from_weighted_edges(region.len(), edges, name)
+        }
     }
 
     /// Whether `region`'s members form one connected component of this
@@ -534,7 +922,101 @@ impl CouplingGraph {
     /// Average vertex degree — Sycamore's is markedly higher than
     /// heavy-hex's, the property driving the paper's §VI-E observations.
     pub fn average_degree(&self) -> f64 {
-        2.0 * self.edges().len() as f64 / self.n as f64
+        self.head.len() as f64 / self.n as f64
+    }
+}
+
+/// An indexed binary min-heap with decrease-key, keyed `(dist, node)` so
+/// pops are deterministic under ties — the std-only port of the keyed
+/// priority queue in the `parallel_qsim_rust` Dijkstra exemplar. All nodes
+/// start present at [`UNREACHABLE`].
+struct DecreaseKeyHeap {
+    /// Heap array of node ids.
+    heap: Vec<u32>,
+    /// node → index in `heap`, `u32::MAX` once popped.
+    pos: Vec<u32>,
+    /// node → current key.
+    key: Vec<u32>,
+}
+
+impl DecreaseKeyHeap {
+    fn new(n: usize) -> Self {
+        // All keys equal (UNREACHABLE) and identity order: parent index <
+        // child index means the (key, node) heap property already holds.
+        DecreaseKeyHeap {
+            heap: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+            key: vec![UNREACHABLE; n],
+        }
+    }
+
+    #[inline]
+    fn less(&self, a: u32, b: u32) -> bool {
+        (self.key[a as usize], a) < (self.key[b as usize], b)
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != u32::MAX
+    }
+
+    #[inline]
+    fn key(&self, v: u32) -> u32 {
+        self.key[v as usize]
+    }
+
+    /// Lowers `v`'s key to `k` and restores the heap property upward.
+    fn decrease(&mut self, v: u32, k: u32) {
+        debug_assert!(self.contains(v) && k <= self.key[v as usize]);
+        self.key[v as usize] = k;
+        self.sift_up(self.pos[v as usize] as usize);
+    }
+
+    /// Pops the minimum `(node, key)`, or `None` when empty.
+    fn pop_min(&mut self) -> Option<(u32, u32)> {
+        let min = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[min as usize] = u32::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((min, self.key[min as usize]))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if !self.less(self.heap[i], self.heap[p]) {
+                break;
+            }
+            self.heap.swap(i, p);
+            self.pos[self.heap[i] as usize] = i as u32;
+            self.pos[self.heap[p] as usize] = p as u32;
+            i = p;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut m = i;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[m]) {
+                m = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[m]) {
+                m = r;
+            }
+            if m == i {
+                break;
+            }
+            self.heap.swap(i, m);
+            self.pos[self.heap[i] as usize] = i as u32;
+            self.pos[self.heap[m] as usize] = m as u32;
+            i = m;
+        }
     }
 }
 
@@ -545,7 +1027,7 @@ impl fmt::Display for CouplingGraph {
             "{} ({} qubits, {} couplings)",
             self.name,
             self.n,
-            self.edges().len()
+            self.head.len() / 2
         )
     }
 }
@@ -579,7 +1061,7 @@ mod tests {
         assert_eq!(g.n_qubits(), 23); // 2×10 + 3 bridges
         assert!(g.is_connected());
         for v in 0..g.n_qubits() {
-            assert!(g.neighbors(v).len() <= 3);
+            assert!(g.degree(v) <= 3);
         }
         let big = CouplingGraph::heavy_hex(7, 12);
         assert_eq!(big.n_qubits(), 7 * 12 + 6 * 3);
@@ -593,7 +1075,7 @@ mod tests {
         assert!(g.is_connected());
         // Heavy-hex: degree ≤ 3 everywhere.
         for v in 0..g.n_qubits() {
-            assert!(g.neighbors(v).len() <= 3, "qubit {v} has degree > 3");
+            assert!(g.degree(v) <= 3, "qubit {v} has degree > 3");
         }
         // The paper's device couples 65 qubits with 72 edges; ours is the
         // same density class (65 qubits, degree ≤ 3).
@@ -613,7 +1095,7 @@ mod tests {
             hh.average_degree()
         );
         for v in 0..g.n_qubits() {
-            assert!(g.neighbors(v).len() <= 4);
+            assert!(g.degree(v) <= 4);
         }
     }
 
@@ -652,6 +1134,95 @@ mod tests {
                 assert!(g.are_adjacent(w[0], w[1]));
             }
         }
+    }
+
+    #[test]
+    fn weighted_distances_follow_edge_weights() {
+        // Triangle with a heavy edge: 0–1 costs 10, 0–2–1 costs 2.
+        let g = CouplingGraph::from_weighted_edges(
+            3,
+            [(0, 1, 10), (0, 2, 1), (1, 2, 1)],
+            "triangle-hot",
+        );
+        assert_eq!(g.dist(0, 1), 2);
+        assert_eq!(g.dist(0, 2), 1);
+        assert_eq!(g.shortest_path(0, 1), Some(vec![0, 2, 1]));
+        assert!(g.are_adjacent(0, 1), "adjacency ignores weights");
+        assert_eq!(g.edge_weight(0, 1), Some(10));
+        assert_eq!(g.edge_weight(1, 0), Some(10));
+        assert_eq!(g.edge_weight(0, 2), Some(1));
+        assert_eq!(g.edge_weight(1, 1), None);
+    }
+
+    #[test]
+    fn weighted_path_avoiding_takes_cheap_detour() {
+        // Square 0-1-2-3-0 plus diagonal 0-2 with weight 5: cheapest 0→2
+        // is around the square (cost 2), and blocking node 1 forces the
+        // 0-3-2 side (cost 2), never the heavy diagonal.
+        let g = CouplingGraph::from_weighted_edges(
+            4,
+            [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 5)],
+            "square-diag",
+        );
+        let p = g.shortest_path_avoiding(0, 2, |v| v == 1).unwrap();
+        assert_eq!(p, vec![0, 3, 2]);
+    }
+
+    #[test]
+    fn dijkstra_on_unit_weights_matches_bfs() {
+        let bfs = CouplingGraph::heavy_hex_65();
+        let dij = CouplingGraph::from_weighted_edges(
+            65,
+            bfs.edges().into_iter().map(|(u, v)| (u, v, 1)),
+            "hh65-dijkstra",
+        );
+        assert!(!dij.is_unit_weight());
+        for u in 0..65 {
+            assert_eq!(bfs.dist_row(u), dij.dist_row(u), "row {u}");
+        }
+    }
+
+    #[test]
+    fn rows_are_lazy_and_counted() {
+        let g = CouplingGraph::grid(8, 8);
+        assert_eq!(g.rows_cached(), 0);
+        assert_eq!(g.row_stats(), (0, 0));
+        let _ = g.dist(3, 40);
+        assert_eq!(g.rows_cached(), 1);
+        assert_eq!(g.row_stats(), (1, 0), "dist() counts a computed row");
+        let _ = g.dist(3, 41);
+        assert_eq!(g.row_stats(), (1, 0), "dist() never counts hits");
+        let r = g.dist_row(3);
+        assert_eq!(r[40], g.dist(3, 40));
+        assert_eq!(g.row_stats(), (1, 1), "cached dist_row() counts a hit");
+        let _ = g.dist_row(4);
+        assert_eq!(g.row_stats(), (2, 1), "uncached dist_row() computes");
+        // Adjacency never materializes a distance row.
+        let h = CouplingGraph::grid(8, 8);
+        assert!(h.are_adjacent(0, 1));
+        assert_eq!(h.rows_cached(), 0);
+    }
+
+    #[test]
+    fn clone_resets_row_caches() {
+        let g = CouplingGraph::line(8);
+        let _ = g.dist(0, 7);
+        assert_eq!(g.rows_cached(), 1);
+        let c = g.clone();
+        assert_eq!(c.rows_cached(), 0);
+        assert_eq!(c.row_stats(), (0, 0));
+        assert_eq!(c, g, "clone is structurally equal");
+    }
+
+    #[test]
+    fn memory_footprint_is_linear_before_rows() {
+        let g = CouplingGraph::grid(64, 64); // 4096 qubits
+        let before = g.memory_footprint();
+        // O(V + E): comfortably under 1 MiB; an eager all-pairs matrix
+        // would be 4096² × 4 B = 64 MiB.
+        assert!(before < 1 << 20, "footprint {before} not O(V+E)");
+        let _ = g.dist(0, 4095);
+        assert!(g.memory_footprint() > before, "rows add to the footprint");
     }
 
     fn assert_valid_carving(g: &CouplingGraph, sizes: &[usize]) {
@@ -693,6 +1264,22 @@ mod tests {
     }
 
     #[test]
+    fn carve_avoiding_excludes_bad_qubits() {
+        let g = CouplingGraph::line(10);
+        let avoid = QubitMask::from_indices(10, &[4]);
+        // Avoiding the middle qubit splits the line into 4 + 5.
+        let regions = g.carve_avoiding(&[4, 5], &avoid).expect("carve");
+        for r in &regions {
+            assert!(!r.iter_globals().any(|q| q == 4), "avoided qubit placed");
+            assert!(g.is_region_connected(r));
+        }
+        // A single region of 6 can't avoid the cut point.
+        assert!(g.carve_avoiding(&[6], &avoid).is_none());
+        // The avoided qubit also shrinks capacity: 10 qubits minus one.
+        assert!(g.carve_avoiding(&[10], &avoid).is_none());
+    }
+
+    #[test]
     fn induced_subgraph_preserves_local_wiring() {
         let g = CouplingGraph::grid(3, 4);
         // A 2×2 corner: globals {0, 1, 4, 5} → locals {0, 1, 2, 3}.
@@ -709,6 +1296,20 @@ mod tests {
         // carved elsewhere hashes equal.
         let r2 = Region::new(12, [6, 7, 10, 11]);
         assert_eq!(sub.fingerprint(), g.induced(&r2).fingerprint());
+    }
+
+    #[test]
+    fn induced_subgraph_carries_weights() {
+        let g = CouplingGraph::from_weighted_edges(
+            4,
+            [(0, 1, 7), (1, 2, 1), (2, 3, 1)],
+            "weighted-line",
+        );
+        let r = Region::new(4, [0, 1, 2]);
+        let sub = g.induced(&r);
+        assert!(!sub.is_unit_weight());
+        assert_eq!(sub.edge_weight(0, 1), Some(7));
+        assert_eq!(sub.dist(0, 2), 8);
     }
 
     #[test]
@@ -730,5 +1331,24 @@ mod tests {
             CouplingGraph::heavy_hex_65().fingerprint(),
             CouplingGraph::sycamore_64().fingerprint()
         );
+    }
+
+    #[test]
+    fn fingerprint_absorbs_weights_only_when_nonunit() {
+        let unit = CouplingGraph::line(5);
+        let all_ones = CouplingGraph::from_weighted_edges(
+            5,
+            unit.edges().into_iter().map(|(u, v)| (u, v, 1)),
+            "line-5-dijkstra",
+        );
+        // Same wiring, all weights 1 → same cache key, whichever
+        // constructor built it.
+        assert_eq!(unit.fingerprint(), all_ones.fingerprint());
+        let hot = CouplingGraph::from_weighted_edges(
+            5,
+            [(0, 1, 9), (1, 2, 1), (2, 3, 1), (3, 4, 1)],
+            "line-5-hot",
+        );
+        assert_ne!(unit.fingerprint(), hot.fingerprint());
     }
 }

@@ -57,7 +57,8 @@ impl Layout {
         let n = graph.n_qubits();
         let center = (0..n)
             .min_by_key(|&c| {
-                let cost: u64 = (0..n).map(|p| graph.dist(c, p) as u64).sum();
+                // One row fetch per candidate, not one dist() per pair.
+                let cost: u64 = graph.dist_row(c).iter().map(|&d| d as u64).sum();
                 (cost, c)
             })
             .expect("non-empty graph");
@@ -71,7 +72,7 @@ impl Layout {
             if order.len() == n_logical {
                 return Layout::from_assignment(&order, n);
             }
-            for &v in graph.neighbors(u) {
+            for v in graph.neighbors(u) {
                 if !seen[v] {
                     seen[v] = true;
                     queue.push_back(v);
@@ -264,7 +265,7 @@ mod tests {
         for q in 0..12 {
             let p = l.phys_of(q).unwrap();
             assert!(
-                q == 0 || g.neighbors(p).iter().any(|&m| l.logical_at(m).is_some()),
+                q == 0 || g.neighbors(p).any(|m| l.logical_at(m).is_some()),
                 "qubit {q} isolated"
             );
         }

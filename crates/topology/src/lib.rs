@@ -19,10 +19,12 @@
 
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod graph;
 pub mod layout;
 pub mod region;
 
+pub use calibration::CalibrationMap;
 pub use graph::CouplingGraph;
 pub use layout::Layout;
 pub use region::Region;

@@ -284,7 +284,7 @@ fn sharded_batch_is_statevector_equivalent_to_whole_chip_compiles() {
     // product is order-invariant and the reference is well defined
     // without access to the compiler's emission order.
     use std::sync::Arc;
-    use tetris::engine::{Backend, CompileJob, Engine, EngineConfig, ShardConfig};
+    use tetris::engine::{Backend, CompileJob, Engine, EngineConfig, ShardConfig, SlackPolicy};
     use tetris::pauli::mask::QubitMask;
     use tetris::pauli::{PauliString, PauliTerm};
 
@@ -314,7 +314,12 @@ fn sharded_batch_is_statevector_equivalent_to_whole_chip_compiles() {
         cache_max_bytes: None,
     });
     // 4 × 3 qubits fill the 12-qubit grid exactly — no slack to grant.
-    let sharded = engine.compile_batch_sharded(jobs.clone(), &ShardConfig { slack: 0 });
+    let sharded = engine.compile_batch_sharded(
+        jobs.clone(),
+        &ShardConfig {
+            slack: SlackPolicy::Fixed(0),
+        },
+    );
     assert!(sharded.results.iter().all(|r| r.error.is_none()));
     assert!(sharded.shards[0].plan.leftover.is_empty());
     let whole = engine.compile_batch(jobs);
@@ -394,4 +399,63 @@ fn bridging_keeps_ancillas_clean() {
             sv.apply_gate(&Gate::Reset(p)); // panics if not |0>
         }
     }
+}
+
+/// Noise-aware acceptance: a calibration that marks one central coupling
+/// hot must steer the weighted router around it — the compiled circuit
+/// accumulates strictly less summed edge error than the unweighted compile
+/// of the same workload — without giving up semantic exactness.
+#[test]
+fn weighted_compile_routes_around_hot_edge_and_stays_exact() {
+    use tetris::pauli::uccsd::synthetic_ucc;
+    use tetris::topology::CalibrationMap;
+
+    // Dense enough that SABRE actually inserts swaps (the small 2-block
+    // UCCSD compiles swap-free on a 3x3 grid, where weights are moot).
+    let h = synthetic_ucc(6, Encoding::JordanWigner, 1);
+    let clean = CouplingGraph::grid(3, 3);
+
+    // One terrible coupling in the middle of the grid; everything else is
+    // near-perfect, so every crossing of (4,5) dominates the error sum.
+    let mut cal = CalibrationMap::uniform(clean.n_qubits(), 0.001);
+    cal.set_edge_error(4, 5, 0.5);
+    let noisy = clean.with_calibration(&cal);
+    assert!(!noisy.is_unit_weight());
+    assert_eq!(noisy.edges(), clean.edges(), "wiring is unchanged");
+
+    let config = TetrisConfig::default();
+    let unweighted = TetrisCompiler::new(config).compile(&h, &clean);
+    let weighted = TetrisCompiler::new(config).compile(&h, &noisy);
+    assert!(weighted.circuit.is_hardware_compliant(&clean));
+
+    // Summed calibration error over every physical CNOT (SWAP = 3 CNOTs).
+    let edge_error_sum = |c: &Circuit| -> f64 {
+        c.gates()
+            .iter()
+            .filter_map(|g| match *g {
+                Gate::Cnot(u, v) => Some(cal.edge_error(u, v)),
+                Gate::Swap(u, v) => Some(3.0 * cal.edge_error(u, v)),
+                _ => None,
+            })
+            .sum()
+    };
+    let clean_sum = edge_error_sum(&unweighted.circuit);
+    let noisy_sum = edge_error_sum(&weighted.circuit);
+    assert!(
+        noisy_sum < clean_sum,
+        "weighted routing must lower the summed edge error: \
+         weighted {noisy_sum:.4} vs unweighted {clean_sum:.4}"
+    );
+
+    // Avoiding the hot edge must not change the semantics.
+    let input = prepared_input(6);
+    let mut physical = input.embed(&weighted.initial_layout.as_assignment(), 9);
+    physical.apply_circuit(&weighted.circuit);
+    let mut reference = input;
+    apply_reference(
+        &mut reference,
+        &weighted.emitted_blocks.iter().collect::<Vec<_>>(),
+    );
+    let expected = reference.embed(&weighted.final_layout.as_assignment(), 9);
+    assert!(physical.equals_up_to_global_phase(&expected, 1e-8));
 }

@@ -497,3 +497,79 @@ fn encoders_anticommute() {
         }
     }
 }
+
+/// On unit-weight graphs the Dijkstra row computation (taken whenever a
+/// graph is built through `from_weighted_edges`) must agree exactly with
+/// the BFS rows of the plain constructor, across every device family and
+/// the mask-boundary widths 63 / 64 / 65 / 130.
+#[test]
+fn dijkstra_on_unit_weights_matches_bfs_everywhere() {
+    let devices: Vec<CouplingGraph> = vec![
+        CouplingGraph::line(63),
+        CouplingGraph::ring(63),
+        CouplingGraph::grid(8, 8),
+        CouplingGraph::sycamore_64(),
+        CouplingGraph::heavy_hex_65(),
+        CouplingGraph::heavy_hex(7, 16),
+    ];
+    for bfs in devices {
+        let n = bfs.n_qubits();
+        assert!(matches!(n, 63 | 64 | 65 | 130), "{}: width {n}", bfs.name());
+        assert!(bfs.is_unit_weight());
+        let dijkstra = CouplingGraph::from_weighted_edges(
+            n,
+            bfs.edges().into_iter().map(|(u, v)| (u, v, 1)),
+            bfs.name(),
+        );
+        assert!(!dijkstra.is_unit_weight(), "weighted ctor takes Dijkstra");
+        assert_eq!(
+            bfs.fingerprint(),
+            dijkstra.fingerprint(),
+            "all-1 weights are semantically unit"
+        );
+        for u in 0..n {
+            assert_eq!(
+                bfs.dist_row(u),
+                dijkstra.dist_row(u),
+                "{}: row {u} diverges",
+                bfs.name()
+            );
+        }
+    }
+}
+
+/// Eight workers hammering one shared graph must observe exactly the rows
+/// a serial pass computes, and the `OnceLock` slots must dedup concurrent
+/// initialization: the shared graph ends with exactly `n` computed rows no
+/// matter how the threads interleave.
+#[test]
+fn lazy_distance_rows_are_thread_safe() {
+    use std::sync::Arc;
+
+    let serial = CouplingGraph::heavy_hex(7, 16);
+    let n = serial.n_qubits();
+    let expected: Vec<Vec<u32>> = (0..n).map(|u| serial.dist_row(u).to_vec()).collect();
+
+    let shared = Arc::new(CouplingGraph::heavy_hex(7, 16));
+    let workers: Vec<_> = (0..8u64)
+        .map(|w| {
+            let g = Arc::clone(&shared);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                // Each worker walks the rows from a different offset so
+                // the same slot is raced from several threads at once.
+                for i in 0..n {
+                    let u = (i + w as usize * n / 8) % n;
+                    assert_eq!(g.dist_row(u), &expected[u][..], "row {u} (worker {w})");
+                }
+            })
+        })
+        .collect();
+    for t in workers {
+        t.join().expect("worker");
+    }
+    let (computed, hits) = shared.row_stats();
+    assert_eq!(computed, n as u64, "every row computed exactly once");
+    assert!(hits >= 7 * n as u64, "late workers must hit the cache");
+    assert_eq!(shared.rows_cached(), n);
+}
