@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tetris_core::TetrisConfig;
 use tetris_engine::{
-    Backend, CacheStats, CompileJob, Engine, EngineConfig, JobResult, ShardConfig,
+    Backend, CacheStats, CompileJob, Engine, EngineConfig, JobResult, RegionScheduler, ShardConfig,
 };
 use tetris_obs::StageTimings;
 use tetris_pauli::encoder::Encoding;
@@ -243,6 +243,142 @@ pub fn run_shard_comparison(quick: bool, threads: usize) -> ShardComparison {
     }
 }
 
+// ------------------------------------------------------ resident scheduling
+
+/// Resident-scheduler vs per-batch sharding over steady-state repeat
+/// traffic: the same batch submitted `batches` times to each path, both
+/// sides warmed once first. The per-batch side re-plans, re-carves and
+/// re-relabels on every submission (its compiles are cache hits); the
+/// resident side serves every placement from the free-list and every
+/// artifact from the resident cache.
+#[derive(Debug, Clone)]
+pub struct ResidentComparison {
+    /// The device both sides target.
+    pub device: String,
+    /// Jobs per batch.
+    pub jobs: usize,
+    /// Timed repeat batches per side (the warm-up batch is untimed).
+    pub batches: usize,
+    /// Wall-clock of `batches` repeats through `compile_batch_sharded`.
+    pub per_batch_wall: f64,
+    /// Wall-clock of `batches` repeats through the resident scheduler.
+    pub resident_wall: f64,
+    /// Scheduler carves across warm-up + timed batches.
+    pub carves_performed: u64,
+    /// Placements the scheduler served without carving.
+    pub carves_skipped: u64,
+    /// Whether every resident result matched its per-batch twin, digest
+    /// for digest and region for region.
+    pub digest_match: bool,
+}
+
+impl ResidentComparison {
+    /// Fraction of scheduler placements that skipped carving.
+    pub fn carve_skip_ratio(&self) -> f64 {
+        let total = self.carves_performed + self.carves_skipped;
+        if total == 0 {
+            return 1.0;
+        }
+        self.carves_skipped as f64 / total as f64
+    }
+
+    /// Per-batch-over-resident speedup on the timed repeats.
+    pub fn speedup(&self) -> f64 {
+        if self.resident_wall <= 0.0 {
+            return 0.0;
+        }
+        self.per_batch_wall / self.resident_wall
+    }
+}
+
+/// Runs the resident comparison: one warm-up submission on each side (so
+/// neither path pays cold compiles inside the timed window), then
+/// `batches` timed repeats. Both engines are separate and equally sized.
+///
+/// # Panics
+/// Panics if any job fails on either side — the batch is the same
+/// always-fits batch the shard comparison uses.
+pub fn run_resident_comparison(quick: bool, threads: usize) -> ResidentComparison {
+    let graph = shard_device();
+    let batches = if quick { 10 } else { 30 };
+    // Build the workloads once and clone per submission (inputs are
+    // `Arc`-shared, so a clone is pointer bumps): the timed loops compare
+    // the two scheduling paths, not repeated Hamiltonian construction.
+    let jobs = shard_jobs(quick, &graph);
+    let n_jobs = jobs.len();
+    let fresh_engine = || {
+        Engine::new(EngineConfig {
+            threads,
+            cache_capacity: 1024,
+            cache_dir: None,
+            cache_max_bytes: None,
+        })
+    };
+
+    // Per-batch side: warm once, then time the repeats. The compiles are
+    // cache hits, but every submission still pays plan + carve + relabel.
+    let per_batch_engine = fresh_engine();
+    eprintln!(
+        "[bench-suite] resident comparison: {n_jobs} jobs × {batches} batches on {} — per-batch sharding…",
+        graph.name()
+    );
+    let warm_sharded =
+        per_batch_engine.compile_batch_sharded(jobs.clone(), &ShardConfig::default());
+    assert!(
+        warm_sharded.results.iter().all(|r| r.error.is_none()),
+        "per-batch warm-up failed"
+    );
+    let t0 = Instant::now();
+    for _ in 0..batches {
+        let b = per_batch_engine.compile_batch_sharded(jobs.clone(), &ShardConfig::default());
+        assert!(b.results.iter().all(|r| r.error.is_none()));
+    }
+    let per_batch_wall = t0.elapsed().as_secs_f64();
+
+    // Resident side: the warm-up batch carves the regions; every timed
+    // repeat reuses them and hits the resident artifact cache.
+    let resident_engine = fresh_engine();
+    let scheduler = RegionScheduler::with_default_config();
+    eprintln!("[bench-suite] resident comparison: resident scheduler…");
+    let warm_resident = scheduler.schedule_batch(&resident_engine, jobs.clone());
+    assert!(
+        warm_resident.results.iter().all(|r| r.error.is_none()),
+        "resident warm-up failed"
+    );
+    let t0 = Instant::now();
+    for _ in 0..batches {
+        let b = scheduler.schedule_batch(&resident_engine, jobs.clone());
+        assert!(b.results.iter().all(|r| r.error.is_none()));
+    }
+    let resident_wall = t0.elapsed().as_secs_f64();
+
+    // Bit-identicality: the resident artifacts must be the per-batch
+    // planner's artifacts, digest for digest and region for region.
+    let digest_match = warm_resident
+        .results
+        .iter()
+        .zip(&warm_sharded.results)
+        .all(|(a, b)| a.region == b.region && a.output.stats_digest() == b.output.stats_digest());
+
+    let stats = scheduler.stats();
+    eprintln!(
+        "[bench-suite] resident comparison: per-batch {per_batch_wall:.2}s vs resident {resident_wall:.2}s \
+         ({:.1}x, carve-skip {:.3})",
+        per_batch_wall / resident_wall.max(1e-9),
+        stats.carve_skip_ratio(),
+    );
+    ResidentComparison {
+        device: graph.name().to_string(),
+        jobs: n_jobs,
+        batches,
+        per_batch_wall,
+        resident_wall,
+        carves_performed: stats.carves_performed,
+        carves_skipped: stats.carves_skipped,
+        digest_match,
+    }
+}
+
 // --------------------------------------------------------------- profiling
 
 /// Observability-overhead measurement over one cold suite pass compiled
@@ -359,12 +495,15 @@ impl SuitePass {
 /// sizing, then per pass the batch wall-clock, the cumulative cache
 /// counters and per-job timings and stats; with `shard` set, a trailing
 /// `"shard"` section comparing sharded vs sequential whole-chip walls;
-/// with `profile` set, a `"profile"` section with the observability
-/// overhead and per-stage wall-time aggregates.
+/// with `resident` set, a `"resident"` section comparing the resident
+/// scheduler against per-batch sharding on repeat traffic; with `profile`
+/// set, a `"profile"` section with the observability overhead and
+/// per-stage wall-time aggregates.
 pub fn json_report(
     threads: usize,
     passes: &[SuitePass],
     shard: Option<&ShardComparison>,
+    resident: Option<&ResidentComparison>,
     profile: Option<&SuiteProfile>,
 ) -> String {
     let mut out = String::new();
@@ -437,25 +576,22 @@ pub fn json_report(
             "    }\n"
         });
     }
-    if shard.is_none() && profile.is_none() {
-        out.push_str("  ]\n}\n");
-        return out;
-    }
-    out.push_str("  ],\n");
+    let mut sections: Vec<String> = Vec::new();
     if let Some(p) = profile {
-        let _ = writeln!(out, "  \"profile\": {{");
+        let mut sec = String::new();
+        let _ = writeln!(sec, "  \"profile\": {{");
         let _ = writeln!(
-            out,
+            sec,
             "    \"baseline_wall_seconds\": {:.6},",
             p.baseline_wall
         );
         let _ = writeln!(
-            out,
+            sec,
             "    \"instrumented_wall_seconds\": {:.6},",
             p.instrumented_wall
         );
         let _ = writeln!(
-            out,
+            sec,
             "    \"overhead_fraction\": {:.6},",
             p.overhead_fraction()
         );
@@ -464,42 +600,77 @@ pub fn json_report(
             .iter()
             .map(|(name, secs)| format!("\"{name}\": {secs:.6}"))
             .collect();
-        let _ = writeln!(out, "    \"stage_seconds\": {{ {} }}", stages.join(", "));
-        out.push_str(if shard.is_some() { "  },\n" } else { "  }\n" });
+        let _ = writeln!(sec, "    \"stage_seconds\": {{ {} }}", stages.join(", "));
+        sec.push_str("  }");
+        sections.push(sec);
     }
-    match shard {
-        None => out.push_str("}\n"),
-        Some(s) => {
-            let _ = writeln!(out, "  \"shard\": {{");
-            let _ = writeln!(out, "    \"device\": \"{}\",", json_escape(&s.device));
-            let _ = writeln!(out, "    \"device_qubits\": {},", s.device_qubits);
-            let _ = writeln!(out, "    \"jobs\": {},", s.jobs);
-            let _ = writeln!(out, "    \"leftover\": {},", s.leftover);
-            let _ = writeln!(
-                out,
-                "    \"sequential_wall_seconds\": {:.6},",
-                s.sequential_wall
+    if let Some(r) = resident {
+        let mut sec = String::new();
+        let _ = writeln!(sec, "  \"resident\": {{");
+        let _ = writeln!(sec, "    \"device\": \"{}\",", json_escape(&r.device));
+        let _ = writeln!(sec, "    \"jobs\": {},", r.jobs);
+        let _ = writeln!(sec, "    \"batches\": {},", r.batches);
+        let _ = writeln!(
+            sec,
+            "    \"per_batch_wall_seconds\": {:.6},",
+            r.per_batch_wall
+        );
+        let _ = writeln!(
+            sec,
+            "    \"resident_wall_seconds\": {:.6},",
+            r.resident_wall
+        );
+        let _ = writeln!(sec, "    \"speedup\": {:.4},", r.speedup());
+        let _ = writeln!(sec, "    \"carves_performed\": {},", r.carves_performed);
+        let _ = writeln!(sec, "    \"carves_skipped\": {},", r.carves_skipped);
+        let _ = writeln!(
+            sec,
+            "    \"carve_skip_ratio\": {:.4},",
+            r.carve_skip_ratio()
+        );
+        let _ = writeln!(sec, "    \"digest_match\": {}", r.digest_match);
+        sec.push_str("  }");
+        sections.push(sec);
+    }
+    if let Some(s) = shard {
+        let mut sec = String::new();
+        let _ = writeln!(sec, "  \"shard\": {{");
+        let _ = writeln!(sec, "    \"device\": \"{}\",", json_escape(&s.device));
+        let _ = writeln!(sec, "    \"device_qubits\": {},", s.device_qubits);
+        let _ = writeln!(sec, "    \"jobs\": {},", s.jobs);
+        let _ = writeln!(sec, "    \"leftover\": {},", s.leftover);
+        let _ = writeln!(
+            sec,
+            "    \"sequential_wall_seconds\": {:.6},",
+            s.sequential_wall
+        );
+        let _ = writeln!(sec, "    \"sharded_wall_seconds\": {:.6},", s.sharded_wall);
+        let _ = writeln!(sec, "    \"speedup\": {:.4},", s.speedup());
+        let _ = writeln!(sec, "    \"qubits_used\": {},", s.qubits_used);
+        let _ = writeln!(sec, "    \"utilization\": {:.4},", s.utilization());
+        let _ = writeln!(sec, "    \"regions\": [");
+        for (i, r) in s.regions.iter().enumerate() {
+            let _ = write!(
+                sec,
+                "      {{ \"job\": \"{}\", \"width\": {}, \"region_qubits\": {}, \
+                 \"region_utilization\": {:.4} }}",
+                json_escape(&r.job),
+                r.width,
+                r.region_qubits,
+                r.region_qubits as f64 / s.device_qubits.max(1) as f64,
             );
-            let _ = writeln!(out, "    \"sharded_wall_seconds\": {:.6},", s.sharded_wall);
-            let _ = writeln!(out, "    \"speedup\": {:.4},", s.speedup());
-            let _ = writeln!(out, "    \"qubits_used\": {},", s.qubits_used);
-            let _ = writeln!(out, "    \"utilization\": {:.4},", s.utilization());
-            let _ = writeln!(out, "    \"regions\": [");
-            for (i, r) in s.regions.iter().enumerate() {
-                let _ = write!(
-                    out,
-                    "      {{ \"job\": \"{}\", \"width\": {}, \"region_qubits\": {}, \
-                     \"region_utilization\": {:.4} }}",
-                    json_escape(&r.job),
-                    r.width,
-                    r.region_qubits,
-                    r.region_qubits as f64 / s.device_qubits.max(1) as f64,
-                );
-                out.push_str(if i + 1 < s.regions.len() { ",\n" } else { "\n" });
-            }
-            out.push_str("    ]\n  }\n}\n");
+            sec.push_str(if i + 1 < s.regions.len() { ",\n" } else { "\n" });
         }
+        sec.push_str("    ]\n  }");
+        sections.push(sec);
     }
+    if sections.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n");
+    out.push_str(&sections.join(",\n"));
+    out.push_str("\n}\n");
     out
 }
 
@@ -520,7 +691,7 @@ mod tests {
 
     #[test]
     fn json_report_is_well_formed_enough() {
-        let report = json_report(4, &[], None, None);
+        let report = json_report(4, &[], None, None, None);
         assert!(report.contains("\"threads\": 4"));
         assert!(report.trim_end().ends_with('}'));
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
@@ -534,7 +705,7 @@ mod tests {
             stage_seconds: vec![("clustering", 0.25), ("routing", 0.5)],
         };
         assert!((profile.overhead_fraction() - 0.03).abs() < 1e-9);
-        let report = json_report(2, &[], None, Some(&profile));
+        let report = json_report(2, &[], None, None, Some(&profile));
         assert!(report.contains("\"profile\": {"));
         assert!(report.contains("\"overhead_fraction\": 0.030000"));
         assert!(report.contains("\"clustering\": 0.250000"));
@@ -550,7 +721,7 @@ mod tests {
             leftover: 0,
             qubits_used: 5,
         };
-        let both = json_report(2, &[], Some(&cmp), Some(&profile));
+        let both = json_report(2, &[], Some(&cmp), None, Some(&profile));
         assert!(both.contains("\"profile\": {") && both.contains("\"shard\": {"));
         assert!(both.trim_end().ends_with('}'));
     }
@@ -572,11 +743,53 @@ mod tests {
             qubits_used: 10,
         };
         assert!((cmp.speedup() - 4.0).abs() < 1e-12);
-        let report = json_report(2, &[], Some(&cmp), None);
+        let report = json_report(2, &[], Some(&cmp), None, None);
         assert!(report.contains("\"shard\": {"));
         assert!(report.contains("\"speedup\": 4.0000"));
         assert!(report.contains("\"region_qubits\": 10"));
         assert!(report.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn resident_section_renders() {
+        let res = ResidentComparison {
+            device: "heavy-hex-7x16".into(),
+            jobs: 6,
+            batches: 10,
+            per_batch_wall: 2.0,
+            resident_wall: 0.5,
+            carves_performed: 6,
+            carves_skipped: 60,
+            digest_match: true,
+        };
+        assert!((res.speedup() - 4.0).abs() < 1e-12);
+        assert!((res.carve_skip_ratio() - 60.0 / 66.0).abs() < 1e-12);
+        let report = json_report(2, &[], None, Some(&res), None);
+        assert!(report.contains("\"resident\": {"));
+        assert!(report.contains("\"carve_skip_ratio\": 0.9091"));
+        assert!(report.contains("\"digest_match\": true"));
+        assert!(report.trim_end().ends_with('}'));
+        // All three trailing sections coexist in one report.
+        let cmp = ShardComparison {
+            device: "d".into(),
+            device_qubits: 10,
+            jobs: 1,
+            sequential_wall: 1.0,
+            sharded_wall: 1.0,
+            regions: vec![],
+            leftover: 0,
+            qubits_used: 5,
+        };
+        let profile = SuiteProfile {
+            instrumented_wall: 1.0,
+            baseline_wall: 1.0,
+            stage_seconds: vec![],
+        };
+        let all = json_report(2, &[], Some(&cmp), Some(&res), Some(&profile));
+        for section in ["\"profile\": {", "\"resident\": {", "\"shard\": {"] {
+            assert!(all.contains(section), "missing {section} in {all}");
+        }
+        assert!(all.trim_end().ends_with('}'));
     }
 
     #[test]

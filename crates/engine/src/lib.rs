@@ -33,6 +33,12 @@
 //!   compiles against its induced subgraph on the same pool, comes back
 //!   relabeled into global coordinates, and the group merges into one
 //!   combined circuit cached under a region-fingerprinted key.
+//! * **Resident-region scheduling** ([`scheduler`],
+//!   [`RegionScheduler::schedule_batch`]): carved regions stay alive
+//!   across batches on a per-device free-list with per-region FIFO queues
+//!   and a defragmenter — steady-state repeat-shape traffic skips carving
+//!   and compilation entirely (the relabeled artifacts are themselves
+//!   content-addressed).
 //! * **Observability** (via [`tetris_obs`]): every job records a per-stage
 //!   wall-time timeline ([`JobResult::stages`] for the request,
 //!   [`EngineOutput::stages`] for the original compile — the latter
@@ -76,6 +82,7 @@ pub mod codec;
 pub mod disk;
 pub mod job;
 pub mod pool;
+pub mod scheduler;
 pub mod shard;
 
 pub use backend::{Backend, CompileBackend, EngineOutput};
@@ -84,6 +91,10 @@ pub use codec::{decode_output, encode_output, CodecError};
 pub use disk::{DiskCache, DiskStats};
 pub use job::{CompileJob, JobResult};
 pub use pool::{Engine, EngineConfig};
+pub use scheduler::{
+    DeviceSnapshot, RegionScheduler, RegionSnapshot, ResidentBatch, ResidentReport,
+    SchedulerConfig, SchedulerStats,
+};
 pub use shard::{
     plan_shards, slack_for_width, ShardConfig, ShardPlan, ShardReport, ShardedBatch, SlackPolicy,
 };

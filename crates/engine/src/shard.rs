@@ -29,6 +29,7 @@ use tetris_core::CompileStats;
 use tetris_obs::trace::Stage;
 use tetris_obs::StageTimings;
 use tetris_pauli::fingerprint::Fingerprint64;
+use tetris_pauli::QubitMask;
 use tetris_topology::{CouplingGraph, Region};
 
 /// How much routing slack (extra physical qubits beyond the job width) a
@@ -73,7 +74,8 @@ pub fn slack_for_width(width: usize) -> usize {
 pub struct ShardConfig {
     /// Extra physical qubits granted to each region beyond the job width —
     /// routing freedom for the compiler (ancilla bridges, SWAP slack). The
-    /// planner retries with zero slack before giving up on a grouping.
+    /// planner walks the slack down one qubit at a time (the slack ladder)
+    /// before giving up on a grouping.
     pub slack: SlackPolicy,
 }
 
@@ -139,11 +141,48 @@ pub struct ShardedBatch {
     pub shards: Vec<ShardReport>,
 }
 
+/// Carves one region per width, walking a slack ladder: the configured
+/// policy's full slack first, then every job's slack capped at one less,
+/// and so on down to zero. A batch that misses by a couple of qubits at
+/// full slack lands at the tightest cap that still fits instead of
+/// collapsing straight to zero slack (or shedding a job that an
+/// intermediate cap would have placed). Deterministic: the ladder is a
+/// fixed descent and [`CouplingGraph::carve_avoiding`] is deterministic.
+pub(crate) fn carve_with_slack_ladder(
+    graph: &CouplingGraph,
+    widths: &[usize],
+    policy: SlackPolicy,
+    avoid: &QubitMask,
+) -> Option<Vec<Region>> {
+    let max_slack = widths
+        .iter()
+        .map(|&w| policy.for_width(w))
+        .max()
+        .unwrap_or(0);
+    let mut tried: Option<Vec<usize>> = None;
+    for cap in (0..=max_slack).rev() {
+        let sizes: Vec<usize> = widths
+            .iter()
+            .map(|&w| (w + policy.for_width(w).min(cap)).min(graph.n_qubits()))
+            .collect();
+        // Lowering the cap below every job's slack leaves the sizes
+        // unchanged — skip the redundant carve attempt.
+        if tried.as_ref() == Some(&sizes) {
+            continue;
+        }
+        if let Some(regions) = graph.carve_avoiding(&sizes, avoid) {
+            return Some(regions);
+        }
+        tried = Some(sizes);
+    }
+    None
+}
+
 /// Groups `jobs` by target device and carves each device into regions, one
-/// per job, of size `width + slack` (retrying with zero slack, then
-/// shedding the widest job to `leftover`, until the carve succeeds).
-/// Deterministic: grouping follows first-seen device order and carving is
-/// [`CouplingGraph::carve`].
+/// per job, of size `width + slack` (walking the slack ladder down to
+/// zero, then shedding the widest job to `leftover`, until the carve
+/// succeeds). Deterministic: grouping follows first-seen device order and
+/// carving is [`CouplingGraph::carve`].
 pub fn plan_shards(jobs: &[CompileJob], config: &ShardConfig) -> Vec<ShardPlan> {
     // Group batch indices by device identity (content fingerprint).
     let mut groups: Vec<(u64, Arc<CouplingGraph>, Vec<usize>)> = Vec::new();
@@ -176,21 +215,8 @@ pub fn plan_shards(jobs: &[CompileJob], config: &ShardConfig) -> Vec<ShardPlan> 
                     .iter()
                     .map(|&i| jobs[i].hamiltonian.n_qubits)
                     .collect();
-                let mut carved = None;
-                for policy in [config.slack, SlackPolicy::Fixed(0)] {
-                    let sizes: Vec<usize> = widths
-                        .iter()
-                        .map(|&w| (w + policy.for_width(w)).min(graph.n_qubits()))
-                        .collect();
-                    if let Some(regions) = graph.carve(&sizes) {
-                        carved = Some(regions);
-                        break;
-                    }
-                    if policy == SlackPolicy::Fixed(0) {
-                        break;
-                    }
-                }
-                match carved {
+                let avoid = QubitMask::empty(graph.n_qubits());
+                match carve_with_slack_ladder(&graph, &widths, config.slack, &avoid) {
                     Some(regions) => {
                         break placed.iter().copied().zip(regions).collect();
                     }
@@ -221,7 +247,7 @@ pub fn plan_shards(jobs: &[CompileJob], config: &ShardConfig) -> Vec<ShardPlan> 
 /// the final layout is lifted with [`tetris_topology::Layout::offset_into`].
 /// Stats are untouched — depth, durations and gate counts are
 /// relabeling-invariant.
-fn relabel_output(local: &EngineOutput, region: &Region) -> EngineOutput {
+pub(crate) fn relabel_output(local: &EngineOutput, region: &Region) -> EngineOutput {
     let mut circuit = tetris_circuit::Circuit::new(region.device_qubits());
     for gate in local.circuit.gates() {
         circuit.push(gate.map_qubits(|q| region.to_global(q)));
@@ -544,6 +570,32 @@ mod tests {
         let plans = plan_shards(&jobs, &ShardConfig::default());
         for (i, region) in &plans[0].members {
             assert_eq!(region.len(), jobs[*i].hamiltonian.n_qubits);
+        }
+    }
+
+    #[test]
+    fn slack_ladder_tries_intermediate_slacks_at_the_perwidth_boundary() {
+        // Two 18-qubit jobs on a 40-qubit line. `PerWidth` grants slack 4
+        // at 18 qubits, so the full-slack carve wants 22 + 22 = 44 > 40
+        // and fails; the old fallback jumped straight to zero slack
+        // (18 + 18 = 36, wasting 4 qubits of routing freedom). The ladder
+        // lands at cap 2: 20 + 20 = 40 exactly.
+        let graph = Arc::new(CouplingGraph::line(40));
+        let s18 = "X".repeat(18);
+        let jobs = vec![
+            small_job("a", &[s18.as_str()], &graph),
+            small_job("b", &[s18.as_str()], &graph),
+        ];
+        let plans = plan_shards(&jobs, &ShardConfig::default());
+        let plan = &plans[0];
+        assert!(plan.leftover.is_empty(), "nothing shed");
+        assert_eq!(plan.members.len(), 2);
+        for (_, region) in &plan.members {
+            assert_eq!(region.len(), 20, "intermediate slack 2, not 0 or 4");
+        }
+        assert!(plan.members[0].1.is_disjoint_from(&plan.members[1].1));
+        for (_, region) in &plan.members {
+            assert!(plan.graph.is_region_connected(region));
         }
     }
 

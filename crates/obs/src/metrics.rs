@@ -87,6 +87,12 @@ impl Gauge {
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Adds a signed delta — e.g. occupancy changes of a multi-qubit
+    /// region (`+len` on carve, `-len` on release).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Overwrites the value.
     pub fn set(&self, v: i64) {
         self.0.store(v, Ordering::Relaxed);

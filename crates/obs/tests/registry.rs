@@ -50,6 +50,26 @@ fn concurrent_increments_from_8_threads_sum_exactly() {
 }
 
 #[test]
+fn gauge_signed_deltas_track_region_occupancy_shape() {
+    // The resident-region scheduler drives occupancy gauges with signed
+    // deltas: +len on carve, -len on release. The handle must take both
+    // directions and settle exactly.
+    let registry = Registry::new();
+    let g = registry.gauge("occupancy", &[("device", "hh")]);
+    g.add(12); // carve a 12-qubit region
+    g.add(9); // and a 9-qubit one
+    assert_eq!(g.value(), 21);
+    g.add(-12); // defrag releases the first
+    assert_eq!(g.value(), 9);
+    g.inc();
+    g.dec();
+    g.add(-9);
+    assert_eq!(g.value(), 0, "carves and releases balance to zero");
+    g.set(5);
+    assert_eq!(g.value(), 5, "set overrides accumulated deltas");
+}
+
+#[test]
 fn bucket_boundaries_are_pinned_powers_of_two() {
     assert_eq!(N_BUCKETS, 27);
     // Golden endpoints: ~1 µs at the bottom, 64 s at the top, exact

@@ -11,15 +11,23 @@
 //! Routes:
 //!
 //! * `POST /batch` — body `{"jobs": [{"workload": …, "backend": …,
-//!   "device": …}, …], "shard": bool}`; every spec is validated against
-//!   the [`crate::registry`] before anything is enqueued (one bad spec
-//!   fails the whole batch with `400`, nothing half-submitted). With
-//!   `"shard": true` the batch compiles through the engine's
-//!   region-carved sharding path
+//!   "device": …}, …], "shard": bool, "resident": bool}`; every spec is
+//!   validated against the [`crate::registry`] before anything is
+//!   enqueued (one bad spec fails the whole batch with `400`, nothing
+//!   half-submitted). With `"shard": true` the batch compiles through
+//!   the engine's region-carved sharding path
 //!   ([`tetris_engine::Engine::compile_batch_sharded`]): compatible jobs
 //!   are packed onto disjoint regions of their device and each result's
-//!   `region` field lists the physical qubits it occupies. Returns
-//!   `{"job_ids": [...]}`.
+//!   `region` field lists the physical qubits it occupies. With
+//!   `"resident": true` the batch routes through the process-wide
+//!   [`RegionScheduler`] instead: regions carved for it stay alive for
+//!   the next batch, repeat-shape traffic is served from the free-list
+//!   and the resident artifact cache without carving, and contended
+//!   regions queue jobs FIFO rather than failing over whole-chip
+//!   (`GET /regions` shows the live free-list). With
+//!   [`ServerConfig::resident_by_default`] set (`tetris serve
+//!   --resident-regions`), `"shard": true` batches route resident too.
+//!   Returns `{"job_ids": [...]}`.
 //! * `GET /job/<id>` — `{"status": "pending"}` while compiling, else the
 //!   full result record (stats, cache provenance, a `stats_digest` for
 //!   bit-exactness checks, and the gate list length; `?qasm=1` embeds the
@@ -39,6 +47,10 @@
 //!   count, utilization); `GET /shard/<key>` — the merged whole-device
 //!   artifact stored under a 16-hex-digit shard cache key (`?qasm=1`
 //!   embeds the OpenQASM text).
+//! * `GET /regions` — the resident-region free-list, per device: every
+//!   carved region with its physical qubits, busy flag, queue depth and
+//!   jobs-served count, plus the scheduler's cumulative carve/defrag
+//!   counters.
 //!
 //! Every request is measured: an in-flight gauge, per-route/status-class
 //! counters (`tetris_http_requests_total`) and per-route latency
@@ -60,7 +72,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tetris_engine::{CompileJob, Engine, EngineConfig, JobResult, ShardConfig};
+use tetris_engine::{CompileJob, Engine, EngineConfig, JobResult, RegionScheduler, ShardConfig};
 use tetris_obs::trace::{self, StageTimings};
 
 /// Request bodies above this size are rejected with `413` — compile
@@ -88,6 +100,12 @@ pub struct ServerConfig {
     /// Write failures are counted (`tetris_trace_log_errors_total`) and
     /// swallowed — tracing must never fail a compile.
     pub trace_log: Option<std::path::PathBuf>,
+    /// When true (`tetris serve --resident-regions`), `"shard": true`
+    /// batches route through the resident-region scheduler instead of the
+    /// per-batch shard planner, so sharding clients get region residency
+    /// without changing their requests. `"resident": true` always routes
+    /// resident regardless of this flag.
+    pub resident_by_default: bool,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +113,7 @@ impl Default for ServerConfig {
         ServerConfig {
             job_ttl: Duration::from_secs(15 * 60),
             trace_log: None,
+            resident_by_default: false,
         }
     }
 }
@@ -145,6 +164,9 @@ pub struct AppState {
     expired_total: AtomicU64,
     /// Recent shard merges, newest last, bounded by [`MAX_SHARD_INFOS`].
     shards: Mutex<VecDeque<ShardInfo>>,
+    /// The resident-region scheduler: one free-list per device, shared by
+    /// every `"resident": true` batch for the life of the process.
+    scheduler: RegionScheduler,
 }
 
 impl AppState {
@@ -156,12 +178,18 @@ impl AppState {
             config,
             expired_total: AtomicU64::new(0),
             shards: Mutex::new(VecDeque::new()),
+            scheduler: RegionScheduler::with_default_config(),
         }
     }
 
     /// The engine (for tests and the CLI to inspect counters).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The resident-region scheduler (for tests to inspect counters).
+    pub fn scheduler(&self) -> &RegionScheduler {
+        &self.scheduler
     }
 
     /// Drops every `Done` record older than the TTL. Called on each table
@@ -473,6 +501,7 @@ fn route_label(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/trace" => "/trace",
         "/shards" => "/shards",
+        "/regions" => "/regions",
         p if p.starts_with("/job/") => "/job",
         p if p.starts_with("/shard/") => "/shard",
         _ => "other",
@@ -525,6 +554,10 @@ fn route(request: &Request, state: &Arc<AppState>) -> (u16, Payload) {
             "GET" => (200, shards_body(state)),
             _ => (405, error_body("use GET /shards")),
         },
+        "/regions" => match method {
+            "GET" => (200, regions_body(state)),
+            _ => (405, error_body("use GET /regions")),
+        },
         path => {
             if let Some(id) = path.strip_prefix("/job/") {
                 match method {
@@ -569,6 +602,15 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
             None => return (400, error_body("`shard` must be a boolean")),
         },
     };
+    let resident = match doc.get("resident") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return (400, error_body("`resident` must be a boolean")),
+        },
+    };
+    // With `--resident-regions`, sharding clients get residency for free.
+    let resident = resident || (shard && state.config.resident_by_default);
 
     // Validate and build everything before touching the job table: a batch
     // either enqueues whole or not at all.
@@ -626,7 +668,12 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
     let worker_state = state.clone();
     let worker_ids = ids.clone();
     std::thread::spawn(move || {
-        let results = if shard {
+        let results = if resident {
+            worker_state
+                .scheduler
+                .schedule_batch(&worker_state.engine, jobs)
+                .results
+        } else if shard {
             let batch = worker_state
                 .engine
                 .compile_batch_sharded(jobs, &ShardConfig::default());
@@ -808,6 +855,7 @@ fn job_body(id: u64, r: &JobResult, with_qasm: bool, with_trace: bool) -> String
 
 fn stats_body(state: &AppState) -> String {
     let c = state.engine.cache_stats();
+    let s = state.scheduler.stats();
     let mut table = state.jobs.lock().expect("job table lock");
     state.sweep_expired(&mut table);
     let pending = table
@@ -820,7 +868,11 @@ fn stats_body(state: &AppState) -> String {
          \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
          \"disk_hits\": {}, \"disk_misses\": {}, \"disk_stores\": {}, \
          \"disk_store_errors\": {}, \"disk_gc_evictions\": {}, \"disk_purged\": {}, \
-         \"hit_ratio\": {:.4}, \"disk_hit_ratio\": {:.4} }} }}\n",
+         \"hit_ratio\": {:.4}, \"disk_hit_ratio\": {:.4} }}, \
+         \"scheduler\": {{ \"carves_performed\": {}, \"carves_skipped\": {}, \
+         \"carve_skip_ratio\": {:.4}, \"defrags\": {}, \"displaced\": {}, \
+         \"regions_released\": {}, \"resident_regions\": {}, \
+         \"resident_qubits\": {}, \"queue_depth\": {} }} }}\n",
         state.engine.threads(),
         table.len(),
         state.expired_total.load(Ordering::Relaxed),
@@ -836,6 +888,15 @@ fn stats_body(state: &AppState) -> String {
         c.disk_purged,
         c.hit_ratio(),
         c.disk_hit_ratio(),
+        s.carves_performed,
+        s.carves_skipped,
+        s.carve_skip_ratio(),
+        s.defrags,
+        s.displaced,
+        s.regions_released,
+        s.resident_regions,
+        s.resident_qubits,
+        s.queue_depth,
     )
 }
 
@@ -868,6 +929,26 @@ fn metrics_body(state: &AppState) -> String {
         .set(c.disk_gc_evictions);
     g.counter("tetris_cache_purged_total", &[dsk])
         .set(c.disk_purged);
+    let s = state.scheduler.stats();
+    g.counter("tetris_carves_performed_total", &[])
+        .set(s.carves_performed);
+    g.counter("tetris_carves_skipped_total", &[])
+        .set(s.carves_skipped);
+    g.counter("tetris_defrags_total", &[]).set(s.defrags);
+    g.counter("tetris_displaced_tickets_total", &[])
+        .set(s.displaced);
+    g.counter("tetris_regions_released_total", &[])
+        .set(s.regions_released);
+    // Re-sync the per-device residency gauges from the live free-list, so
+    // a scrape agrees with `GET /regions` even if the scheduler's own
+    // pushes were disabled when the last batch ran.
+    for d in state.scheduler.snapshot() {
+        let device: &str = &d.device;
+        g.gauge("tetris_region_occupancy", &[("device", device)])
+            .set(d.resident_qubits as i64);
+        g.gauge("tetris_region_queue_depth", &[("device", device)])
+            .set(d.regions.iter().map(|r| r.queue_depth as i64).sum());
+    }
     let (rows_computed, row_hits) = tetris_topology::graph::global_row_stats();
     g.counter("tetris_dist_rows_computed_total", &[])
         .set(rows_computed);
@@ -930,6 +1011,51 @@ fn shards_body(state: &AppState) -> String {
         })
         .collect();
     format!("{{ \"shards\": [{}] }}\n", entries.join(", "))
+}
+
+/// `GET /regions`: the resident-region free-list per device, plus the
+/// scheduler's cumulative counters — the live view of the carve →
+/// resident → queue → defrag → release lifecycle.
+fn regions_body(state: &AppState) -> String {
+    let s = state.scheduler.stats();
+    let devices: Vec<String> = state
+        .scheduler
+        .snapshot()
+        .iter()
+        .map(|d| {
+            let regions: Vec<String> = d
+                .regions
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{ \"id\": {}, \"qubits\": {:?}, \"busy\": {}, \
+                         \"queue_depth\": {}, \"jobs_served\": {} }}",
+                        r.id, r.qubits, r.busy, r.queue_depth, r.jobs_served,
+                    )
+                })
+                .collect();
+            format!(
+                "{{ \"device\": \"{}\", \"device_qubits\": {}, \
+                 \"resident_qubits\": {}, \"regions\": [{}] }}",
+                escape(&d.device),
+                d.device_qubits,
+                d.resident_qubits,
+                regions.join(", "),
+            )
+        })
+        .collect();
+    format!(
+        "{{ \"carves_performed\": {}, \"carves_skipped\": {}, \
+         \"carve_skip_ratio\": {:.4}, \"defrags\": {}, \"displaced\": {}, \
+         \"regions_released\": {}, \"devices\": [{}] }}\n",
+        s.carves_performed,
+        s.carves_skipped,
+        s.carve_skip_ratio(),
+        s.defrags,
+        s.displaced,
+        s.regions_released,
+        devices.join(", "),
+    )
 }
 
 /// `GET /shard/<key>`: the merged whole-device artifact cached under a

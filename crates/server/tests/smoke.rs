@@ -489,6 +489,128 @@ fn observability_endpoints_expose_metrics_traces_and_shards() {
 }
 
 #[test]
+fn resident_batches_keep_regions_alive_across_submissions() {
+    let addr = start_server();
+    let body = r#"{ "resident": true, "jobs": [
+        {"workload": "REG3-8-s1", "backend": "tetris", "device": "grid-4x4"},
+        {"workload": "REG3-8-s2", "backend": "tetris", "device": "grid-4x4"}
+    ] }"#;
+    let (status, response) = request(&addr, "POST", "/batch", Some(body));
+    assert_eq!(status, 200, "{response}");
+    let first = poll_done(&addr, 1, Duration::from_secs(120));
+    let second = poll_done(&addr, 2, Duration::from_secs(120));
+    let parse_region = |body: &str| -> Vec<usize> {
+        let tag = "\"region\": [";
+        let rest = &body[body.find(tag).expect("region field") + tag.len()..];
+        let list = &rest[..rest.find(']').expect("close bracket")];
+        list.split(',')
+            .map(|s| s.trim().parse().expect("qubit index"))
+            .collect()
+    };
+    let a = parse_region(&first);
+    let b = parse_region(&second);
+    assert!(a.iter().all(|q| !b.contains(q)), "{a:?} overlaps {b:?}");
+
+    // The carved regions are still alive after the batch: /regions shows
+    // two idle residents on the grid, one job served each.
+    let (status, regions) = request(&addr, "GET", "/regions", None);
+    assert_eq!(status, 200, "{regions}");
+    assert_eq!(field(&regions, "carves_performed"), Some("2"), "{regions}");
+    assert_eq!(field(&regions, "carves_skipped"), Some("0"), "{regions}");
+    assert!(regions.contains("\"device\": \"grid-4x4\""), "{regions}");
+    assert_eq!(regions.matches("\"busy\": false").count(), 2, "{regions}");
+    assert_eq!(
+        regions.matches("\"jobs_served\": 1").count(),
+        2,
+        "{regions}"
+    );
+
+    // A repeat submission reuses the residents: no new carve, artifacts
+    // straight from the resident cache, digests unchanged.
+    let (status, response) = request(&addr, "POST", "/batch", Some(body));
+    assert_eq!(status, 200, "{response}");
+    let third = poll_done(&addr, 3, Duration::from_secs(120));
+    let fourth = poll_done(&addr, 4, Duration::from_secs(120));
+    assert_eq!(field(&third, "cached"), Some("true"), "{third}");
+    assert_eq!(field(&fourth, "cached"), Some("true"), "{fourth}");
+    assert_eq!(field(&third, "stats_digest"), field(&first, "stats_digest"));
+    assert_eq!(
+        field(&fourth, "stats_digest"),
+        field(&second, "stats_digest")
+    );
+    assert_eq!(parse_region(&third), a);
+    assert_eq!(parse_region(&fourth), b);
+
+    // /regions, /stats and /metrics agree on the carve ledger.
+    let (_, regions) = request(&addr, "GET", "/regions", None);
+    assert_eq!(field(&regions, "carves_performed"), Some("2"), "{regions}");
+    assert_eq!(field(&regions, "carves_skipped"), Some("2"), "{regions}");
+    assert_eq!(field(&regions, "carve_skip_ratio"), Some("0.5000"));
+    let (_, stats) = request(&addr, "GET", "/stats", None);
+    assert_eq!(field(&stats, "carves_performed"), Some("2"), "{stats}");
+    assert_eq!(field(&stats, "carves_skipped"), Some("2"), "{stats}");
+    assert_eq!(field(&stats, "resident_regions"), Some("2"), "{stats}");
+    assert_eq!(field(&stats, "queue_depth"), Some("0"), "{stats}");
+    let (_, metrics) = request(&addr, "GET", "/metrics", None);
+    for series in [
+        "tetris_carves_performed_total 2",
+        "tetris_carves_skipped_total 2",
+        "tetris_defrags_total 0",
+        "tetris_regions_released_total 0",
+        "tetris_region_occupancy{device=\"grid-4x4\"} 16",
+        "tetris_region_queue_depth{device=\"grid-4x4\"} 0",
+    ] {
+        assert!(
+            metrics.contains(series),
+            "missing `{series}` in:\n{metrics}"
+        );
+    }
+
+    // A non-boolean resident flag is rejected whole-batch.
+    let (status, response) = request(
+        &addr,
+        "POST",
+        "/batch",
+        Some(r#"{ "resident": 1, "jobs": [{"workload": "REG3-8-s1", "backend": "tetris"}] }"#),
+    );
+    assert_eq!(status, 400, "{response}");
+}
+
+#[test]
+fn resident_by_default_routes_sharded_batches_through_the_scheduler() {
+    // `tetris serve --resident-regions`: clients keep sending
+    // `"shard": true` and transparently get region residency.
+    let server = CompileServer::bind_with(
+        "127.0.0.1:0",
+        EngineConfig {
+            threads: 2,
+            cache_capacity: 64,
+            cache_dir: None,
+            cache_max_bytes: None,
+        },
+        ServerConfig {
+            resident_by_default: true,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let state = server.serve_background();
+
+    let body = r#"{ "shard": true, "jobs": [
+        {"workload": "REG3-8-s1", "backend": "tetris", "device": "grid-4x4"},
+        {"workload": "REG3-8-s2", "backend": "tetris", "device": "grid-4x4"}
+    ] }"#;
+    let (status, response) = request(&addr, "POST", "/batch", Some(body));
+    assert_eq!(status, 200, "{response}");
+    poll_done(&addr, 1, Duration::from_secs(120));
+    poll_done(&addr, 2, Duration::from_secs(120));
+    let stats = state.scheduler().stats();
+    assert_eq!(stats.carves_performed, 2, "routed resident, not per-batch");
+    assert_eq!(stats.resident_regions, 2);
+}
+
+#[test]
 fn trace_log_appends_one_jsonl_record_per_job() {
     let path = std::env::temp_dir().join(format!("tetris-trace-{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
@@ -503,6 +625,7 @@ fn trace_log_appends_one_jsonl_record_per_job() {
         ServerConfig {
             job_ttl: Duration::from_secs(900),
             trace_log: Some(path.clone()),
+            ..Default::default()
         },
     )
     .expect("bind ephemeral port");

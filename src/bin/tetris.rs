@@ -25,9 +25,11 @@ fn usage() -> ExitCode {
   tetris qaoa    [--nodes N] [--degree D | --edges M] [--seed S] [--qasm FILE]
   tetris compare [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
   tetris bench-suite [--quick] [--threads N] [--passes P] [--backend heavy-hex|sycamore]
-                     [--cache-dir DIR] [--cache-max-bytes B] [--shard] [--profile] [--out FILE]
+                     [--cache-dir DIR] [--cache-max-bytes B] [--shard] [--resident]
+                     [--profile] [--out FILE]
   tetris serve   [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--cache-capacity N]
                  [--cache-max-bytes B] [--job-ttl-secs S] [--trace-log FILE]
+                 [--resident-regions]
 
 molecules: LiH BeH2 CH4 MgH2 LiCl CO2"
     );
@@ -193,15 +195,19 @@ fn cmd_compare(args: &Args) -> Option<ExitCode> {
 /// report's `cached_fraction` makes visible. With `--shard` the report
 /// additionally compares a batch of small workloads compiled sequentially
 /// against a whole 130-node heavy-hex chip vs sharded onto carved regions
-/// of it (per-region utilization + wall-clock speedup). With `--profile`
-/// the report gains a `"profile"` section measuring the observability
-/// layer's overhead (suite compiled cold with recording disabled vs
-/// enabled) plus per-stage wall-time aggregates.
+/// of it (per-region utilization + wall-clock speedup). With `--resident`
+/// the report gains a `"resident"` section comparing the resident-region
+/// scheduler against per-batch sharding on steady-state repeat traffic
+/// (carve-skip ratio + wall-clock speedup + digest pinning). With
+/// `--profile` the report gains a `"profile"` section measuring the
+/// observability layer's overhead (suite compiled cold with recording
+/// disabled vs enabled) plus per-stage wall-time aggregates.
 fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     use std::sync::Arc;
     use std::time::Instant;
     use tetris::bench::suite::{
-        json_report, run_shard_comparison, run_suite_profile, suite_jobs, SuitePass,
+        json_report, run_resident_comparison, run_shard_comparison, run_suite_profile, suite_jobs,
+        SuitePass,
     };
     use tetris::engine::{Engine, EngineConfig};
 
@@ -263,6 +269,9 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     let shard = args
         .flag("--shard")
         .then(|| run_shard_comparison(quick, threads));
+    let resident = args
+        .flag("--resident")
+        .then(|| run_resident_comparison(quick, threads));
     let profile = args
         .flag("--profile")
         .then(|| run_suite_profile(quick, threads, &graph));
@@ -270,6 +279,7 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
         engine.threads(),
         &report_passes,
         shard.as_ref(),
+        resident.as_ref(),
         profile.as_ref(),
     );
     match args.value("--out") {
@@ -287,7 +297,9 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
 /// `--cache-max-bytes`), so a restarted server answers previously compiled
 /// batches from disk; `--job-ttl-secs` bounds the in-memory job table;
 /// `--trace-log FILE` appends one JSONL record per completed job (labels,
-/// engine wall, per-stage timeline).
+/// engine wall, per-stage timeline); `--resident-regions` routes
+/// `"shard": true` batches through the resident-region scheduler, so
+/// carved regions stay alive across batches.
 fn cmd_serve(args: &Args) -> Option<ExitCode> {
     use tetris::engine::EngineConfig;
     use tetris::server::{CompileServer, ServerConfig};
@@ -316,6 +328,7 @@ fn cmd_serve(args: &Args) -> Option<ExitCode> {
         server_config.job_ttl = std::time::Duration::from_secs(secs);
     }
     server_config.trace_log = args.value("--trace-log").map(std::path::PathBuf::from);
+    server_config.resident_by_default = args.flag("--resident-regions");
     match CompileServer::bind_with(addr, config, server_config) {
         Ok(server) => {
             println!("listening on http://{}", server.local_addr());

@@ -385,6 +385,96 @@ fn sharded_batch_is_statevector_equivalent_to_whole_chip_compiles() {
 }
 
 #[test]
+fn defragmented_wide_job_is_statevector_exact() {
+    // The resident-region defragmenter, end to end: four 3-qubit tiles
+    // fill the 12-qubit chip and stay resident; a following 9-qubit job
+    // has no compatible region and no room to carve, so the scheduler
+    // must release the idle tiles, re-carve, and complete the job — and
+    // the compiled circuit must be semantically exact, not merely
+    // well-formed. Blocks commute (XXX…X vs ZZI…I anticommute at two
+    // sites), so the reference exponential product is order-invariant.
+    use std::sync::Arc;
+    use tetris::engine::{Backend, CompileJob, Engine, EngineConfig, RegionScheduler};
+    use tetris::pauli::{PauliString, PauliTerm};
+
+    let device = Arc::new(CouplingGraph::grid(3, 4));
+    let job = |name: String, strings: [&str; 2], a: f64, b: f64| -> CompileJob {
+        let n = strings[0].len();
+        let blocks = vec![
+            PauliBlock::new(
+                vec![PauliTerm::new(strings[0].parse().unwrap(), 1.0)],
+                a,
+                "x",
+            ),
+            PauliBlock::new(
+                vec![PauliTerm::new(strings[1].parse().unwrap(), 1.0)],
+                b,
+                "z",
+            ),
+        ];
+        CompileJob::new(
+            name.clone(),
+            Backend::Tetris(TetrisConfig::default()),
+            Arc::new(Hamiltonian::new(n, blocks, name)),
+            device.clone(),
+        )
+    };
+
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        cache_capacity: 64,
+        cache_dir: None,
+        cache_max_bytes: None,
+    });
+    let scheduler = RegionScheduler::with_default_config();
+
+    // Fragment the chip: the four tiles cover all 12 qubits and their
+    // regions stay resident after the batch completes.
+    let tiles: Vec<CompileJob> = (0..4)
+        .map(|k| {
+            job(
+                format!("tile{k}"),
+                ["XXX", "ZZI"],
+                0.2 + 0.11 * k as f64,
+                -0.3 + 0.07 * k as f64,
+            )
+        })
+        .collect();
+    let tiled = scheduler.schedule_batch(&engine, tiles);
+    assert!(tiled.results.iter().all(|r| r.error.is_none()));
+    assert_eq!(tiled.report.carves_performed, 4);
+
+    // The starving wide job: nothing matches, nothing fits — only the
+    // defragmenter can place it.
+    let (a, b) = (0.37, -0.21);
+    let wide = scheduler.schedule_batch(
+        &engine,
+        vec![job("wide".into(), ["XXXXXXXXX", "ZZIIIIIII"], a, b)],
+    );
+    let result = &wide.results[0];
+    assert!(result.error.is_none(), "{:?}", result.error);
+    assert_eq!(wide.report.defrags, 1, "the defragmenter had to run");
+    assert_eq!(
+        wide.report.leftover, 0,
+        "placed on a region, not whole-chip"
+    );
+    assert_eq!(result.region.as_ref().expect("placed").len(), 9);
+
+    // The statevector oracle on the relabeled global circuit.
+    let layout = result.output.final_layout.as_ref().expect("layout");
+    let mut physical = Statevector::zero_state(12);
+    physical.apply_circuit(&result.output.circuit);
+    let mut logical = Statevector::zero_state(9);
+    logical.apply_pauli_exp(&"XXXXXXXXX".parse::<PauliString>().unwrap(), a);
+    logical.apply_pauli_exp(&"ZZIIIIIII".parse::<PauliString>().unwrap(), b);
+    let embedded = logical.embed(&layout.as_assignment(), 12);
+    assert!(
+        physical.equals_up_to_global_phase(&embedded, 1e-9),
+        "defragmented job diverges from the reference evolution"
+    );
+}
+
+#[test]
 fn bridging_keeps_ancillas_clean() {
     // Compile a sparse workload on a device with many free qubits; then
     // explicitly Reset every free physical qubit at the end — the
