@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod connstress;
 pub mod suite;
 pub mod table;
 pub mod timing;

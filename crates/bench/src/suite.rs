@@ -498,13 +498,16 @@ impl SuitePass {
 /// with `resident` set, a `"resident"` section comparing the resident
 /// scheduler against per-batch sharding on repeat traffic; with `profile`
 /// set, a `"profile"` section with the observability overhead and
-/// per-stage wall-time aggregates.
+/// per-stage wall-time aggregates; with `connections` set, a
+/// `"connections"` section comparing the reactor front-end against the
+/// thread-per-connection baseline under a connect storm.
 pub fn json_report(
     threads: usize,
     passes: &[SuitePass],
     shard: Option<&ShardComparison>,
     resident: Option<&ResidentComparison>,
     profile: Option<&SuiteProfile>,
+    connections: Option<&crate::connstress::ConnStressComparison>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -577,6 +580,48 @@ pub fn json_report(
         });
     }
     let mut sections: Vec<String> = Vec::new();
+    if let Some(c) = connections {
+        let side = |s: &crate::connstress::FrontEndStress| {
+            format!(
+                "    \"{}\": {{ \"connections\": {}, \"completed\": {}, \"errors\": {}, \
+                 \"shed\": {}, \"peak_connections\": {}, \"wall_seconds\": {:.6}, \
+                 \"first_byte_p50\": {:.6}, \"first_byte_p95\": {:.6}, \"first_byte_p99\": {:.6}, \
+                 \"complete_p50\": {:.6}, \"complete_p95\": {:.6}, \"complete_p99\": {:.6} }}",
+                s.front_end,
+                s.connections,
+                s.completed,
+                s.errors,
+                s.shed,
+                s.peak_connections,
+                s.wall_seconds,
+                s.first_byte_p50,
+                s.first_byte_p95,
+                s.first_byte_p99,
+                s.complete_p50,
+                s.complete_p95,
+                s.complete_p99,
+            )
+        };
+        let mut sec = String::new();
+        let _ = writeln!(sec, "  \"connections\": {{");
+        let _ = writeln!(sec, "    \"connections\": {},", c.connections);
+        let _ = writeln!(
+            sec,
+            "    \"baseline_connections\": {},",
+            c.baseline_connections
+        );
+        let _ = writeln!(
+            sec,
+            "    \"connection_ratio\": {:.4},",
+            c.connection_ratio()
+        );
+        let _ = writeln!(sec, "    \"wall_ratio\": {:.4},", c.wall_ratio());
+        let _ = writeln!(sec, "    \"digest_match\": {},", c.digest_match());
+        let _ = writeln!(sec, "{},", side(&c.reactor));
+        let _ = writeln!(sec, "{}", side(&c.blocking));
+        sec.push_str("  }");
+        sections.push(sec);
+    }
     if let Some(p) = profile {
         let mut sec = String::new();
         let _ = writeln!(sec, "  \"profile\": {{");
@@ -691,7 +736,7 @@ mod tests {
 
     #[test]
     fn json_report_is_well_formed_enough() {
-        let report = json_report(4, &[], None, None, None);
+        let report = json_report(4, &[], None, None, None, None);
         assert!(report.contains("\"threads\": 4"));
         assert!(report.trim_end().ends_with('}'));
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
@@ -705,7 +750,7 @@ mod tests {
             stage_seconds: vec![("clustering", 0.25), ("routing", 0.5)],
         };
         assert!((profile.overhead_fraction() - 0.03).abs() < 1e-9);
-        let report = json_report(2, &[], None, None, Some(&profile));
+        let report = json_report(2, &[], None, None, Some(&profile), None);
         assert!(report.contains("\"profile\": {"));
         assert!(report.contains("\"overhead_fraction\": 0.030000"));
         assert!(report.contains("\"clustering\": 0.250000"));
@@ -721,7 +766,7 @@ mod tests {
             leftover: 0,
             qubits_used: 5,
         };
-        let both = json_report(2, &[], Some(&cmp), None, Some(&profile));
+        let both = json_report(2, &[], Some(&cmp), None, Some(&profile), None);
         assert!(both.contains("\"profile\": {") && both.contains("\"shard\": {"));
         assert!(both.trim_end().ends_with('}'));
     }
@@ -743,7 +788,7 @@ mod tests {
             qubits_used: 10,
         };
         assert!((cmp.speedup() - 4.0).abs() < 1e-12);
-        let report = json_report(2, &[], Some(&cmp), None, None);
+        let report = json_report(2, &[], Some(&cmp), None, None, None);
         assert!(report.contains("\"shard\": {"));
         assert!(report.contains("\"speedup\": 4.0000"));
         assert!(report.contains("\"region_qubits\": 10"));
@@ -764,7 +809,7 @@ mod tests {
         };
         assert!((res.speedup() - 4.0).abs() < 1e-12);
         assert!((res.carve_skip_ratio() - 60.0 / 66.0).abs() < 1e-12);
-        let report = json_report(2, &[], None, Some(&res), None);
+        let report = json_report(2, &[], None, Some(&res), None, None);
         assert!(report.contains("\"resident\": {"));
         assert!(report.contains("\"carve_skip_ratio\": 0.9091"));
         assert!(report.contains("\"digest_match\": true"));
@@ -785,11 +830,51 @@ mod tests {
             baseline_wall: 1.0,
             stage_seconds: vec![],
         };
-        let all = json_report(2, &[], Some(&cmp), Some(&res), Some(&profile));
+        let all = json_report(2, &[], Some(&cmp), Some(&res), Some(&profile), None);
         for section in ["\"profile\": {", "\"resident\": {", "\"shard\": {"] {
             assert!(all.contains(section), "missing {section} in {all}");
         }
         assert!(all.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn connections_section_renders() {
+        use crate::connstress::{ConnStressComparison, FrontEndStress};
+        use std::collections::BTreeSet;
+        let side = |label: &'static str, n: usize, wall: f64| FrontEndStress {
+            front_end: label,
+            connections: n,
+            completed: n,
+            errors: 0,
+            peak_connections: n as u64,
+            shed: 0,
+            wall_seconds: wall,
+            first_byte_p50: 0.001,
+            first_byte_p95: 0.002,
+            first_byte_p99: 0.003,
+            complete_p50: 0.004,
+            complete_p95: 0.005,
+            complete_p99: 0.006,
+            digests: BTreeSet::from(["d1".to_string()]),
+        };
+        let cmp = ConnStressComparison {
+            connections: 400,
+            baseline_connections: 100,
+            reactor: side("reactor", 400, 1.0),
+            blocking: side("blocking", 100, 2.0),
+        };
+        assert!((cmp.connection_ratio() - 4.0).abs() < 1e-12);
+        assert!((cmp.wall_ratio() - 0.5).abs() < 1e-12);
+        assert!(cmp.digest_match());
+        let report = json_report(2, &[], None, None, None, Some(&cmp));
+        assert!(report.contains("\"connections\": {"));
+        assert!(report.contains("\"connection_ratio\": 4.0000"));
+        assert!(report.contains("\"wall_ratio\": 0.5000"));
+        assert!(report.contains("\"digest_match\": true"));
+        assert!(report.contains("\"reactor\": {"));
+        assert!(report.contains("\"blocking\": {"));
+        assert!(report.contains("\"first_byte_p95\": 0.002000"));
+        assert!(report.trim_end().ends_with('}'));
     }
 
     #[test]

@@ -293,6 +293,97 @@ impl Engine {
         self.cache.get(key)
     }
 
+    /// Submits a batch and invokes `on_result` once per job *as each
+    /// completes* (completion order, not submission order), returning
+    /// immediately. This is the completion-push hook the async HTTP
+    /// front-end builds on: the server's adapter registers a sink that
+    /// fills the job table and pokes the reactor's wakeup pipe, so
+    /// long-polling and streaming clients hear about a job the moment its
+    /// worker finishes — no polling round-trips.
+    ///
+    /// Semantics match [`compile_batch`](Engine::compile_batch) (which is
+    /// built on this): duplicate jobs inside the batch (equal
+    /// [`CompileJob::cache_key`]) are coalesced — the first occurrence
+    /// compiles on the pool, and each duplicate is resolved as a cache hit
+    /// immediately after its primary lands, on the collector thread.
+    /// [`JobResult::index`] carries the job's position in the submitted
+    /// batch, so a sink can reassemble submission order.
+    pub fn submit_batch<F>(&self, jobs: Vec<CompileJob>, on_result: F)
+    where
+        F: Fn(JobResult) + Send + 'static,
+    {
+        if jobs.is_empty() {
+            return;
+        }
+        let queue = self
+            .queue
+            .as_ref()
+            .expect("engine queue alive until drop")
+            .clone();
+        let (reply_tx, reply_rx) = channel::<JobResult>();
+
+        // Coalesce duplicates: first occurrence of each key is submitted,
+        // later ones are resolved from the cache as soon as it lands.
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut dups_by_key: std::collections::HashMap<u64, Vec<(usize, CompileJob)>> =
+            std::collections::HashMap::new();
+        let mut submitted = 0usize;
+        for (index, job) in jobs.into_iter().enumerate() {
+            let key = job.cache_key();
+            if seen.insert(key) {
+                queue
+                    .send(WorkItem {
+                        index,
+                        key,
+                        job,
+                        reply: reply_tx.clone(),
+                        submitted_at: Instant::now(),
+                    })
+                    .expect("workers alive until drop");
+                submitted += 1;
+            } else {
+                dups_by_key.entry(key).or_default().push((index, job));
+            }
+        }
+        drop(reply_tx);
+
+        let cache = Arc::clone(&self.cache);
+        let metrics = Arc::clone(&self.metrics);
+        std::thread::spawn(move || {
+            for _ in 0..submitted {
+                let Ok(r) = reply_rx.recv() else {
+                    return; // engine dropped mid-batch
+                };
+                let key = r.cache_key;
+                on_result(r);
+                // Every duplicate's primary was submitted, so draining the
+                // map here resolves all of them by the time the loop ends.
+                // Usually a straight cache hit; when the cache was too
+                // small to retain the primary (or capacity 0, or the
+                // primary failed), `execute` falls back to compiling in
+                // place.
+                for (index, job) in dups_by_key.remove(&key).unwrap_or_default() {
+                    let t0 = Instant::now();
+                    let (output, cached, error, stages) = execute(&job, key, &cache);
+                    let result = JobResult {
+                        index,
+                        name: job.name,
+                        compiler: job.backend.name().to_string(),
+                        cache_key: key,
+                        cached,
+                        engine_seconds: t0.elapsed().as_secs_f64(),
+                        error,
+                        region: None,
+                        stages,
+                        output,
+                    };
+                    metrics.observe(&result);
+                    on_result(result);
+                }
+            }
+        });
+    }
+
     /// Compiles a batch, returning one [`JobResult`] per job in submission
     /// order.
     ///
@@ -304,70 +395,17 @@ impl Engine {
     /// the same guarantee the cache gives across batches, without racing
     /// two workers on identical work.
     pub fn compile_batch(&self, jobs: Vec<CompileJob>) -> Vec<JobResult> {
-        let queue = self
-            .queue
-            .as_ref()
-            .expect("engine queue alive until drop")
-            .clone();
-        let (reply_tx, reply_rx) = channel::<JobResult>();
-
-        // Coalesce duplicates: first occurrence of each key is submitted,
-        // later ones are resolved from the cache after it lands.
-        let mut first_of_key: std::collections::HashMap<u64, usize> =
-            std::collections::HashMap::new();
-        let mut duplicates: Vec<(usize, u64, CompileJob)> = Vec::new();
-        let mut submitted = 0usize;
-        for (index, job) in jobs.into_iter().enumerate() {
-            let key = job.cache_key();
-            match first_of_key.entry(key) {
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(index);
-                    queue
-                        .send(WorkItem {
-                            index,
-                            key,
-                            job,
-                            reply: reply_tx.clone(),
-                            submitted_at: Instant::now(),
-                        })
-                        .expect("workers alive until drop");
-                    submitted += 1;
-                }
-                std::collections::hash_map::Entry::Occupied(_) => {
-                    duplicates.push((index, key, job));
-                }
-            }
-        }
-        drop(reply_tx);
-
-        let total = submitted + duplicates.len();
+        let total = jobs.len();
+        let (tx, rx) = channel::<JobResult>();
+        self.submit_batch(jobs, move |r| {
+            // The receiver outlives every send unless the caller panicked.
+            let _ = tx.send(r);
+        });
         let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
-        for _ in 0..submitted {
-            let r = reply_rx.recv().expect("worker delivers every job");
+        for _ in 0..total {
+            let r = rx.recv().expect("collector delivers every job");
             let index = r.index;
             slots[index] = Some(r);
-        }
-        for (index, key, job) in duplicates {
-            let t0 = Instant::now();
-            // Usually a straight cache hit; when the cache was too small
-            // to retain the first occurrence (or capacity 0, or the first
-            // occurrence failed), `execute` falls back to compiling in
-            // place.
-            let (output, cached, error, stages) = execute(&job, key, &self.cache);
-            let result = JobResult {
-                index,
-                name: job.name,
-                compiler: job.backend.name().to_string(),
-                cache_key: key,
-                cached,
-                engine_seconds: t0.elapsed().as_secs_f64(),
-                error,
-                region: None,
-                stages,
-                output,
-            };
-            self.metrics.observe(&result);
-            slots[index] = Some(result);
         }
         slots
             .into_iter()
@@ -546,6 +584,37 @@ mod tests {
         // and the failure was not cached.
         let again = engine.compile_batch(toy_jobs(2));
         assert!(again.iter().all(|r| r.error.is_none() && r.cached));
+    }
+
+    #[test]
+    fn submit_batch_pushes_every_result_exactly_once() {
+        let engine = Engine::new(EngineConfig {
+            threads: 3,
+            cache_capacity: 64,
+            cache_dir: None,
+            cache_max_bytes: None,
+        });
+        let mut jobs = toy_jobs(5);
+        jobs.extend(toy_jobs(2)); // duplicates of the first two
+        let total = jobs.len();
+        let (tx, rx) = std::sync::mpsc::channel();
+        engine.submit_batch(jobs, move |r| {
+            let _ = tx.send(r);
+        });
+        let mut results: Vec<JobResult> = (0..total).map(|_| rx.recv().expect("result")).collect();
+        assert!(rx.recv().is_err(), "exactly one callback per job");
+        results.sort_by_key(|r| r.index);
+        let direct = engine.compile_batch(toy_jobs(5));
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(
+                r.output.stats_digest(),
+                direct[i % 5].output.stats_digest(),
+                "pushed result {i} must match a direct compile"
+            );
+        }
+        // The duplicates were coalesced into cache hits.
+        assert!(results[5].cached && results[6].cached);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! The thread-per-connection blocking front-end.
+//!
+//! The original server architecture, retained behind
+//! [`FrontEnd::Blocking`](crate::http::FrontEnd::Blocking) as the baseline
+//! the connection-stress bench measures the reactor against (and as the
+//! fallback on non-unix hosts): one thread accepts, one thread per
+//! connection runs a keep-alive request loop under socket timeouts.
+//! Handlers are shared with the reactor via [`crate::http::route`] with
+//! `async_ok = false`, so long-poll parks and chunked streams degrade to
+//! their immediate forms (`pending` JSON, plain `job_ids`) — a thread
+//! parked per waiting client is exactly what this architecture cannot
+//! afford, which is why the reactor exists.
+//!
+//! Connection accounting and admission control match the reactor: accepts
+//! past [`ServerConfig::max_connections`](crate::http::ServerConfig) are
+//! answered `503 + Retry-After` and closed, and a detached sweeper thread
+//! amortizes the job-table TTL sweep since there is no reactor tick here.
+
+use crate::http::{
+    error_body, record_http, render_response, route, route_label, AppState, Outcome, Payload,
+    SOCKET_TIMEOUT,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Accepts connections forever, one handler thread per socket. Spawns the
+/// TTL sweeper on entry (the blocking front-end has no reactor tick to
+/// amortize the sweep onto).
+pub(crate) fn serve_loop(listener: TcpListener, state: Arc<AppState>) {
+    let sweeper_state = state.clone();
+    std::thread::spawn(move || loop {
+        std::thread::sleep(sweeper_state.sweep_interval());
+        sweeper_state.sweep();
+    });
+    for stream in listener.incoming() {
+        match stream {
+            Ok(mut stream) => {
+                state.accepted_total.fetch_add(1, Ordering::Relaxed);
+                // Accept-then-shed, like the reactor: the connection gauge
+                // is claimed first so racing accepts cannot overshoot.
+                let live = state.connections.fetch_add(1, Ordering::AcqRel) + 1;
+                if live as usize > state.config.max_connections {
+                    state.connections.fetch_sub(1, Ordering::AcqRel);
+                    state.shed_connections.fetch_add(1, Ordering::Relaxed);
+                    record_http("other", 503, 0.0);
+                    let body =
+                        Payload::Json(error_body("server at capacity: too many connections"));
+                    let _ = stream.write_all(&render_response(503, &body, false));
+                    continue;
+                }
+                let state = state.clone();
+                std::thread::spawn(move || {
+                    handle_connection(stream, &state);
+                    state.connections.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(e) => eprintln!("[serve] accept error: {e}"),
+        }
+    }
+}
+
+/// Why [`read_request`] produced no request.
+enum ReadError {
+    /// The connection ended cleanly between requests (EOF or idle timeout
+    /// before the first request byte) — close without a response.
+    Idle,
+    /// A malformed or oversized request — answer it, then close.
+    Bad(&'static str),
+}
+
+/// Reads one HTTP/1.1 request from the connection's shared reader. Head
+/// bytes are bounded by `MAX_HEAD`, the body by `MAX_BODY`, and every
+/// read is under the socket timeout, so a hostile client can neither park
+/// the thread nor grow memory unboundedly. The reader persists across
+/// keep-alive requests, so bytes buffered past one request are not lost.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<crate::conn::Request, ReadError> {
+    let mut head = (&mut *reader).take(crate::conn::MAX_HEAD as u64);
+    let read_head_line =
+        |head: &mut dyn BufRead, line: &mut String, first: bool| -> Result<(), ReadError> {
+            match head.read_line(line) {
+                // EOF (or idle timeout) before the first byte of a request is
+                // a clean keep-alive close, not a protocol error.
+                Ok(0) if first && line.is_empty() => Err(ReadError::Idle),
+                Ok(_) if line.ends_with('\n') => Ok(()),
+                Ok(_) => Err(ReadError::Bad(if line.is_empty() {
+                    "connection closed mid-request"
+                } else {
+                    "header section too large"
+                })),
+                Err(e)
+                    if first
+                        && line.is_empty()
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    Err(ReadError::Idle)
+                }
+                Err(_) => Err(ReadError::Bad("unreadable header")),
+            }
+        };
+
+    let mut line = String::new();
+    read_head_line(&mut head, &mut line, true)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Bad("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(ReadError::Bad("missing path"))?
+        .to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    // Keep-alive is the HTTP/1.1 default; anything else (1.0, or an
+    // unparseable version) defaults to close.
+    let mut keep_alive = parts.next() == Some("HTTP/1.1");
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        read_head_line(&mut head, &mut header, false)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Bad("bad content-length"))?;
+            } else if k.eq_ignore_ascii_case("connection") {
+                // The Connection header is a token list; `close` anywhere
+                // in it wins over everything, an explicit `keep-alive`
+                // opts a 1.0 client in.
+                let has = |t: &str| v.split(',').any(|tok| tok.trim().eq_ignore_ascii_case(t));
+                if has("close") {
+                    keep_alive = false;
+                } else if has("keep-alive") {
+                    keep_alive = true;
+                }
+            } else if k.eq_ignore_ascii_case("transfer-encoding") {
+                // Only Content-Length framing is supported. A chunked
+                // body left on the socket would desync the keep-alive
+                // loop (the chunks would parse as the next request), so
+                // reject it and close.
+                return Err(ReadError::Bad("transfer-encoding not supported"));
+            }
+        }
+    }
+    if content_length > crate::conn::MAX_BODY {
+        return Err(ReadError::Bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ReadError::Bad("short body"))?;
+    Ok(crate::conn::Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    })
+}
+
+fn respond(stream: &mut TcpStream, code: u16, payload: &Payload, keep_alive: bool) {
+    let _ = stream.write_all(&render_response(code, payload, keep_alive));
+    let _ = stream.flush();
+}
+
+/// Serves one connection: a keep-alive loop reading requests back to back
+/// on one socket until the client closes, asks for `Connection: close`,
+/// goes idle past [`SOCKET_TIMEOUT`], or sends something malformed.
+fn handle_connection(stream: TcpStream, state: &Arc<AppState>) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ReadError::Idle) => return,
+            Err(ReadError::Bad(e)) => {
+                let code = if e == "body too large" { 413 } else { 400 };
+                record_http("other", code, 0.0);
+                respond(&mut writer, code, &Payload::Json(error_body(e)), false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let route_label = route_label(&request.path);
+        let inflight = tetris_obs::global().gauge("tetris_http_inflight", &[]);
+        inflight.inc();
+        let started = Instant::now();
+        let (code, payload) = match route(&request, state, false) {
+            Outcome::Ready(code, payload) => (code, payload),
+            // Unreachable with `async_ok = false`, but degrade sanely:
+            // a park answers its current job state, a stream its ids.
+            Outcome::LongPoll {
+                id,
+                with_qasm,
+                with_trace,
+                ..
+            } => crate::http::job_response(state, id, with_qasm, with_trace),
+            Outcome::Stream(ids) => (200, Payload::Json(crate::http::job_ids_body(&ids))),
+        };
+        record_http(route_label, code, started.elapsed().as_secs_f64());
+        inflight.dec();
+        respond(&mut writer, code, &payload, keep_alive);
+        if !keep_alive {
+            return;
+        }
+    }
+}

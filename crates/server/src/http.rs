@@ -1,21 +1,31 @@
-//! The std-only HTTP/1.1 front-end.
+//! Routing, handlers, and shared state for the HTTP front-end.
 //!
-//! A hand-rolled server over `TcpListener` — the same no-dependency
-//! discipline as the rest of the workspace. One thread accepts, one
-//! thread per connection runs a keep-alive request loop: requests are
-//! served back to back on the same socket (`Connection: keep-alive`, the
-//! HTTP/1.1 default) until the client sends `Connection: close`, goes
-//! idle past the socket timeout, or errors. Batches are compiled on a
-//! detached thread so submission returns immediately and clients poll.
+//! Two front-ends share everything in this module (see
+//! [`ServerConfig::front_end`]):
+//!
+//! * [`FrontEnd::Reactor`] (the default on unix) — a nonblocking
+//!   `poll(2)` readiness loop in [`crate::reactor`] owning every socket,
+//!   with per-connection incremental parse/write state machines from
+//!   [`crate::conn`]. Job completions are pushed back into the loop over
+//!   a wakeup pipe ([`crate::notify`]), which is what makes long-polling
+//!   (`GET /job/<id>?wait=1`) and per-job result streaming
+//!   (`POST /batch {"stream": true}`) possible without parking a thread
+//!   per waiting client.
+//! * [`FrontEnd::Blocking`] — the original thread-per-connection
+//!   keep-alive loop in [`crate::blocking`], kept as the baseline the
+//!   connection-stress bench compares against (and the fallback on
+//!   non-unix hosts). It serves the same routes; `wait=1` degrades to an
+//!   immediate pending response and `"stream": true` to a plain
+//!   `job_ids` reply.
 //!
 //! Routes:
 //!
 //! * `POST /batch` — body `{"jobs": [{"workload": …, "backend": …,
-//!   "device": …}, …], "shard": bool, "resident": bool}`; every spec is
-//!   validated against the [`crate::registry`] before anything is
-//!   enqueued (one bad spec fails the whole batch with `400`, nothing
-//!   half-submitted). With `"shard": true` the batch compiles through
-//!   the engine's region-carved sharding path
+//!   "device": …}, …], "shard": bool, "resident": bool, "stream": bool}`;
+//!   every spec is validated against the [`crate::registry`] before
+//!   anything is enqueued (one bad spec fails the whole batch with `400`,
+//!   nothing half-submitted). With `"shard": true` the batch compiles
+//!   through the engine's region-carved sharding path
 //!   ([`tetris_engine::Engine::compile_batch_sharded`]): compatible jobs
 //!   are packed onto disjoint regions of their device and each result's
 //!   `region` field lists the physical qubits it occupies. With
@@ -27,16 +37,29 @@
 //!   (`GET /regions` shows the live free-list). With
 //!   [`ServerConfig::resident_by_default`] set (`tetris serve
 //!   --resident-regions`), `"shard": true` batches route resident too.
-//!   Returns `{"job_ids": [...]}`.
+//!   Returns `{"job_ids": [...]}` — or, with `"stream": true` on the
+//!   reactor front-end, a chunked transfer-encoding response whose first
+//!   frame is the `job_ids` record and whose following frames are the
+//!   full per-job result records, pushed the moment each job finishes
+//!   (bit-identical to what `GET /job/<id>` returns for the same job).
 //! * `GET /job/<id>` — `{"status": "pending"}` while compiling, else the
 //!   full result record (stats, cache provenance, a `stats_digest` for
 //!   bit-exactness checks, and the gate list length; `?qasm=1` embeds the
-//!   OpenQASM text).
+//!   OpenQASM text). With `?wait=1` the reactor front-end parks the
+//!   request instead of answering `pending`: the response is sent the
+//!   moment the job completes, or after `?wait_ms=` (capped by
+//!   [`ServerConfig::wait_timeout`]) with the usual pending record as the
+//!   timeout fallback — so clients long-poll instead of busy-polling.
 //! * `DELETE /job/<id>` — drops the record; a deleted pending job is
 //!   compiled (results are cached) but never re-enters the table.
+//! * `GET /healthz` — cheap liveness: `{"inflight": …, "connections": …}`
+//!   from two atomics, no engine or cache locks, for load balancers.
 //! * `GET /stats` — engine sizing, per-tier cache counters and job counts.
 //! * `GET /metrics` — Prometheus text exposition of the process-wide
-//!   registry (engine counters, per-stage histograms, HTTP series), with
+//!   registry (engine counters, per-stage histograms, HTTP series, and
+//!   the front-end's connection/backpressure series:
+//!   `tetris_http_connections`, `tetris_http_accepted_total`,
+//!   `tetris_http_shed_total{reason}`, `tetris_longpoll_waiters`), with
 //!   cache and job-table series synced from the same snapshot `/stats`
 //!   reads, so the two views agree at scrape time.
 //! * `GET /job/<id>?trace=1` — adds the job's per-stage wall-time
@@ -52,42 +75,58 @@
 //!   jobs-served count, plus the scheduler's cumulative carve/defrag
 //!   counters.
 //!
+//! Admission control: a batch that would push in-flight jobs past
+//! [`ServerConfig::max_inflight`] is shed with `503` + `Retry-After: 1`
+//! before anything is enqueued, and connections past
+//! [`ServerConfig::max_connections`] are answered `503` and closed at
+//! accept time. Both shed paths count into
+//! `tetris_http_shed_total{reason=…}`.
+//!
 //! Every request is measured: an in-flight gauge, per-route/status-class
 //! counters (`tetris_http_requests_total`) and per-route latency
 //! histograms (`tetris_http_request_seconds`). With
-//! [`ServerConfig::trace_log`] set, every completed batch appends one
-//! JSONL record per job to the given file.
+//! [`ServerConfig::trace_log`] set, every completed job appends one JSONL
+//! record to the given file.
 //!
-//! Completed jobs are evicted after [`ServerConfig::job_ttl`]: every
-//! table access sweeps expired `Done` records, so a long-lived server's
-//! job table stays bounded by the traffic of one TTL window instead of
-//! growing forever (pending jobs are never swept — the worker thread
-//! still owes them a result).
+//! Completed jobs are evicted after [`ServerConfig::job_ttl`]. The sweep
+//! is amortized: the reactor runs it on a timer tick (the blocking
+//! front-end keeps a sweeper thread), and only the cold observability
+//! paths (`/stats`, `/metrics`, `DELETE`) still sweep inline so their
+//! counts are exact at read time — the hot `GET /job` and `POST /batch`
+//! paths no longer pay an O(table) scan per request (pending jobs are
+//! never swept — the worker still owes them a result).
 
+use crate::conn::Request;
 use crate::json::{escape, parse, Value};
+use crate::notify::Notifier;
 use crate::registry::Interner;
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tetris_engine::{CompileJob, Engine, EngineConfig, JobResult, RegionScheduler, ShardConfig};
 use tetris_obs::trace::{self, StageTimings};
 
-/// Request bodies above this size are rejected with `413` — compile
-/// requests are names, not payloads.
-const MAX_BODY: usize = 1 << 20;
+/// Per-connection socket timeout: an idle or trickling client gets closed
+/// (reactor) or its read/write aborted (blocking) instead of holding
+/// resources forever. Doubles as the keep-alive idle timeout and the
+/// graceful-drain deadline.
+pub(crate) const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Cap on the request line + headers, bytes. Bounds memory against a
-/// client streaming an endless header.
-const MAX_HEAD: usize = 16 << 10;
-
-/// Per-connection socket timeout: an idle or trickling client gets its
-/// read/write aborted instead of parking a thread forever. Doubles as the
-/// keep-alive idle timeout — a connection with no next request within it
-/// is closed quietly.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+/// Which connection-handling architecture serves the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// Nonblocking `poll(2)` reactor: one thread owns every socket,
+    /// long-polling and result streaming work, admission control at
+    /// accept time. The default on unix.
+    Reactor,
+    /// Thread-per-connection blocking loop: the pre-reactor architecture,
+    /// kept as the stress-bench baseline and the non-unix fallback.
+    /// `wait=1` and `"stream": true` degrade to their immediate forms.
+    Blocking,
+}
 
 /// Server-side policy knobs (everything not owned by the engine).
 #[derive(Debug, Clone)]
@@ -95,9 +134,9 @@ pub struct ServerConfig {
     /// How long a completed job stays queryable before eviction. Pending
     /// jobs are exempt.
     pub job_ttl: Duration,
-    /// When set, every completed batch appends one JSONL record per job
-    /// (timestamp, labels, engine wall, per-stage timeline) to this file.
-    /// Write failures are counted (`tetris_trace_log_errors_total`) and
+    /// When set, every completed job appends one JSONL record (timestamp,
+    /// labels, engine wall, per-stage timeline) to this file. Write
+    /// failures are counted (`tetris_trace_log_errors_total`) and
     /// swallowed — tracing must never fail a compile.
     pub trace_log: Option<std::path::PathBuf>,
     /// When true (`tetris serve --resident-regions`), `"shard": true`
@@ -106,6 +145,20 @@ pub struct ServerConfig {
     /// without changing their requests. `"resident": true` always routes
     /// resident regardless of this flag.
     pub resident_by_default: bool,
+    /// Live-socket cap: connections accepted past it are answered `503 +
+    /// Retry-After` and closed immediately (`tetris serve
+    /// --max-connections`).
+    pub max_connections: usize,
+    /// In-flight job cap: a batch that would exceed it is shed with `503 +
+    /// Retry-After` before anything is enqueued (`tetris serve
+    /// --max-inflight`).
+    pub max_inflight: usize,
+    /// Upper bound on a long-poll park (`GET /job/<id>?wait=1`); a
+    /// client's `wait_ms` is capped by it (`tetris serve
+    /// --wait-timeout-ms`). On timeout the usual pending record is sent.
+    pub wait_timeout: Duration,
+    /// Which front-end serves connections.
+    pub front_end: FrontEnd,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +167,14 @@ impl Default for ServerConfig {
             job_ttl: Duration::from_secs(15 * 60),
             trace_log: None,
             resident_by_default: false,
+            max_connections: 1024,
+            max_inflight: 4096,
+            wait_timeout: Duration::from_secs(30),
+            front_end: if cfg!(unix) {
+                FrontEnd::Reactor
+            } else {
+                FrontEnd::Blocking
+            },
         }
     }
 }
@@ -159,7 +220,7 @@ pub struct AppState {
     engine: Engine,
     jobs: Mutex<HashMap<u64, JobRecord>>,
     next_id: AtomicU64,
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
     /// Completed records dropped by the TTL sweep (not client `DELETE`s).
     expired_total: AtomicU64,
     /// Recent shard merges, newest last, bounded by [`MAX_SHARD_INFOS`].
@@ -167,6 +228,21 @@ pub struct AppState {
     /// The resident-region scheduler: one free-list per device, shared by
     /// every `"resident": true` batch for the life of the process.
     scheduler: RegionScheduler,
+    /// Job-completion push channel into the reactor (inert under the
+    /// blocking front-end).
+    pub(crate) notifier: Notifier,
+    /// Jobs submitted and not yet finished — the admission-control gauge.
+    pub(crate) inflight_jobs: AtomicU64,
+    /// Live sockets (`tetris_http_connections`).
+    pub(crate) connections: AtomicU64,
+    /// Connections ever accepted (`tetris_http_accepted_total`).
+    pub(crate) accepted_total: AtomicU64,
+    /// Connections shed at the [`ServerConfig::max_connections`] cap.
+    pub(crate) shed_connections: AtomicU64,
+    /// Batches shed at the [`ServerConfig::max_inflight`] cap.
+    pub(crate) shed_inflight: AtomicU64,
+    /// Requests currently parked in a long-poll.
+    pub(crate) longpoll_waiters: AtomicU64,
 }
 
 impl AppState {
@@ -179,6 +255,13 @@ impl AppState {
             expired_total: AtomicU64::new(0),
             shards: Mutex::new(VecDeque::new()),
             scheduler: RegionScheduler::with_default_config(),
+            notifier: Notifier::new(),
+            inflight_jobs: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            accepted_total: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            shed_inflight: AtomicU64::new(0),
+            longpoll_waiters: AtomicU64::new(0),
         }
     }
 
@@ -192,9 +275,40 @@ impl AppState {
         &self.scheduler
     }
 
-    /// Drops every `Done` record older than the TTL. Called on each table
-    /// access, so the table is bounded without a background thread: no
-    /// traffic means no growth, and any request pays one O(table) sweep.
+    /// A control handle for requesting a graceful drain.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            notifier: self.notifier.clone(),
+        }
+    }
+
+    /// Raw job-table size, no sweep — lets tests observe that the
+    /// amortized background sweep evicts expired records on its own,
+    /// without any HTTP access triggering one.
+    pub fn job_count(&self) -> usize {
+        self.jobs.lock().expect("job table lock").len()
+    }
+
+    /// Live sockets the front-end currently owns (the
+    /// `tetris_http_connections` gauge) — for benches sampling peak
+    /// concurrency.
+    pub fn live_connections(&self) -> u64 {
+        self.connections.load(Ordering::Acquire)
+    }
+
+    /// Admission counters: `(accepted, shed_connections, shed_inflight)`.
+    pub fn admission_counters(&self) -> (u64, u64, u64) {
+        (
+            self.accepted_total.load(Ordering::Relaxed),
+            self.shed_connections.load(Ordering::Relaxed),
+            self.shed_inflight.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops every `Done` record older than the TTL. Runs on the reactor's
+    /// timer tick (or the blocking front-end's sweeper thread) and inline
+    /// on the cold `/stats` / `/metrics` / `DELETE` paths, so those counts
+    /// are exact while hot `GET /job` traffic never pays an O(table) scan.
     fn sweep_expired(&self, table: &mut HashMap<u64, JobRecord>) {
         let now = Instant::now();
         let before = table.len();
@@ -206,6 +320,36 @@ impl AppState {
         if dropped > 0 {
             self.expired_total.fetch_add(dropped, Ordering::Relaxed);
         }
+    }
+
+    /// One amortized sweep pass (the reactor tick / sweeper thread entry).
+    pub(crate) fn sweep(&self) {
+        let mut table = self.jobs.lock().expect("job table lock");
+        self.sweep_expired(&mut table);
+    }
+
+    /// How often the amortized sweep should run so an expired record
+    /// vanishes well within one extra TTL.
+    pub(crate) fn sweep_interval(&self) -> Duration {
+        (self.config.job_ttl / 2)
+            .min(Duration::from_secs(1))
+            .max(Duration::from_millis(10))
+    }
+}
+
+/// A cloneable control handle: lets the CLI (or a test) ask a running
+/// server to drain gracefully — stop accepting, finish in-flight
+/// responses, long-polls and streams, then exit the accept loop.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    notifier: Notifier,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain (reactor front-end; the blocking
+    /// front-end has no drain path and ignores it).
+    pub fn shutdown(&self) {
+        self.notifier.shutdown();
     }
 }
 
@@ -225,7 +369,7 @@ impl CompileServer {
         CompileServer::bind_with(addr, engine, ServerConfig::default())
     }
 
-    /// [`bind`](CompileServer::bind) with explicit server policy (job TTL).
+    /// [`bind`](CompileServer::bind) with explicit server policy.
     pub fn bind_with(
         addr: &str,
         engine: EngineConfig,
@@ -250,158 +394,55 @@ impl CompileServer {
         self.state.clone()
     }
 
-    /// Accepts connections on the calling thread, forever (the CLI path).
-    pub fn serve_forever(self) -> ! {
-        let state = self.state.clone();
-        for stream in self.listener.incoming() {
-            match stream {
-                Ok(stream) => {
-                    let state = state.clone();
-                    std::thread::spawn(move || handle_connection(stream, &state));
-                }
-                Err(e) => eprintln!("[serve] accept error: {e}"),
-            }
-        }
-        unreachable!("TcpListener::incoming never returns None")
+    /// A control handle for requesting a graceful drain.
+    pub fn handle(&self) -> ServerHandle {
+        self.state.handle()
     }
 
-    /// Accepts connections on a detached background thread (the test
-    /// path). The listener thread lives until the process exits.
-    pub fn serve_background(self) -> Arc<AppState> {
-        let state = self.state.clone();
-        let listener = self.listener;
-        let accept_state = state.clone();
-        std::thread::spawn(move || {
-            for stream in listener.incoming().flatten() {
-                let state = accept_state.clone();
-                std::thread::spawn(move || handle_connection(stream, &state));
+    /// Serves connections on the calling thread (the CLI path). The
+    /// reactor front-end returns from its loop only after a graceful
+    /// drain, at which point the process exits cleanly; the blocking
+    /// front-end accepts forever.
+    pub fn serve_forever(self) -> ! {
+        let CompileServer {
+            listener, state, ..
+        } = self;
+        match state.config.front_end {
+            #[cfg(unix)]
+            FrontEnd::Reactor => {
+                crate::reactor::run(listener, state);
+                // The reactor only returns after a graceful drain.
+                std::process::exit(0)
             }
-        });
-        state
+            _ => {
+                crate::blocking::serve_loop(listener, state);
+                unreachable!("the blocking accept loop never returns")
+            }
+        }
+    }
+
+    /// Serves connections on a detached background thread (the test
+    /// path). The thread lives until the process exits or, under the
+    /// reactor front-end, until [`ServerHandle::shutdown`] drains it.
+    pub fn serve_background(self) -> Arc<AppState> {
+        let CompileServer {
+            listener, state, ..
+        } = self;
+        let ret = state.clone();
+        match state.config.front_end {
+            #[cfg(unix)]
+            FrontEnd::Reactor => {
+                std::thread::spawn(move || crate::reactor::run(listener, state));
+            }
+            _ => {
+                std::thread::spawn(move || crate::blocking::serve_loop(listener, state));
+            }
+        }
+        ret
     }
 }
 
 // ------------------------------------------------------------- wire level
-
-/// A parsed request: method, path, query string, body and whether the
-/// client wants the connection kept open afterwards.
-struct Request {
-    method: String,
-    path: String,
-    query: String,
-    body: Vec<u8>,
-    keep_alive: bool,
-}
-
-/// Why [`read_request`] produced no request.
-enum ReadError {
-    /// The connection ended cleanly between requests (EOF or idle timeout
-    /// before the first request byte) — close without a response.
-    Idle,
-    /// A malformed or oversized request — answer it, then close.
-    Bad(&'static str),
-}
-
-/// Reads one HTTP/1.1 request from the connection's shared reader. Head
-/// bytes are bounded by `MAX_HEAD`, the body by `MAX_BODY`, and every
-/// read is under the socket timeout, so a hostile client can neither park
-/// the thread nor grow memory unboundedly. The reader persists across
-/// keep-alive requests, so bytes buffered past one request are not lost.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let mut head = (&mut *reader).take(MAX_HEAD as u64);
-    let read_head_line =
-        |head: &mut dyn BufRead, line: &mut String, first: bool| -> Result<(), ReadError> {
-            match head.read_line(line) {
-                // EOF (or idle timeout) before the first byte of a request is
-                // a clean keep-alive close, not a protocol error.
-                Ok(0) if first && line.is_empty() => Err(ReadError::Idle),
-                Ok(_) if line.ends_with('\n') => Ok(()),
-                Ok(_) => Err(ReadError::Bad(if line.is_empty() {
-                    "connection closed mid-request"
-                } else {
-                    "header section too large"
-                })),
-                Err(e)
-                    if first
-                        && line.is_empty()
-                        && matches!(
-                            e.kind(),
-                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                        ) =>
-                {
-                    Err(ReadError::Idle)
-                }
-                Err(_) => Err(ReadError::Bad("unreadable header")),
-            }
-        };
-
-    let mut line = String::new();
-    read_head_line(&mut head, &mut line, true)?;
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or(ReadError::Bad("missing method"))?
-        .to_string();
-    let target = parts
-        .next()
-        .ok_or(ReadError::Bad("missing path"))?
-        .to_string();
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target, String::new()),
-    };
-    // Keep-alive is the HTTP/1.1 default; anything else (1.0, or an
-    // unparseable version) defaults to close.
-    let mut keep_alive = parts.next() == Some("HTTP/1.1");
-
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        read_head_line(&mut head, &mut header, false)?;
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((k, v)) = header.split_once(':') {
-            if k.eq_ignore_ascii_case("content-length") {
-                content_length = v
-                    .trim()
-                    .parse()
-                    .map_err(|_| ReadError::Bad("bad content-length"))?;
-            } else if k.eq_ignore_ascii_case("connection") {
-                // The Connection header is a token list; `close` anywhere
-                // in it wins over everything, an explicit `keep-alive`
-                // opts a 1.0 client in.
-                let has = |t: &str| v.split(',').any(|tok| tok.trim().eq_ignore_ascii_case(t));
-                if has("close") {
-                    keep_alive = false;
-                } else if has("keep-alive") {
-                    keep_alive = true;
-                }
-            } else if k.eq_ignore_ascii_case("transfer-encoding") {
-                // Only Content-Length framing is supported. A chunked
-                // body left on the socket would desync the keep-alive
-                // loop (the chunks would parse as the next request), so
-                // reject it and close.
-                return Err(ReadError::Bad("transfer-encoding not supported"));
-            }
-        }
-    }
-    if content_length > MAX_BODY {
-        return Err(ReadError::Bad("body too large"));
-    }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|_| ReadError::Bad("short body"))?;
-    Ok(Request {
-        method,
-        path,
-        query,
-        body,
-        keep_alive,
-    })
-}
 
 fn status_text(code: u16) -> &'static str {
     match code {
@@ -411,13 +452,14 @@ fn status_text(code: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
 /// Response payload: every handler speaks JSON except `/metrics`, whose
 /// Prometheus exposition is plain text.
-enum Payload {
+pub(crate) enum Payload {
     Json(String),
     Text(String),
 }
@@ -437,68 +479,57 @@ impl Payload {
     }
 }
 
-fn respond(stream: &mut TcpStream, code: u16, payload: &Payload, keep_alive: bool) {
+/// Serializes one complete response. `503` responses carry
+/// `Retry-After: 1` so load-shed clients know to back off, not give up.
+pub(crate) fn render_response(code: u16, payload: &Payload, keep_alive: bool) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry_after = if code == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
     let body = payload.body();
-    let response = format!(
-        "HTTP/1.1 {code} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+    format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n{body}",
         status_text(code),
         payload.content_type(),
         body.len(),
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
+    )
+    .into_bytes()
 }
 
-fn error_body(message: &str) -> String {
+/// The response head of a streaming `POST /batch`: chunked
+/// transfer-encoding, one frame per record, keep-alive preserved so the
+/// socket is reusable after the terminating chunk.
+pub(crate) fn render_stream_head(keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n",
+    )
+    .into_bytes()
+}
+
+/// One chunked transfer-encoding frame around a record.
+pub(crate) fn chunk_frame(frame: &str) -> Vec<u8> {
+    format!("{:x}\r\n{frame}\r\n", frame.len()).into_bytes()
+}
+
+/// The zero-length chunk ending a stream.
+pub(crate) const STREAM_END: &[u8] = b"0\r\n\r\n";
+
+pub(crate) fn error_body(message: &str) -> String {
     format!("{{ \"error\": \"{}\" }}\n", escape(message))
-}
-
-/// Serves one connection: a keep-alive loop reading requests back to back
-/// on one socket until the client closes, asks for `Connection: close`,
-/// goes idle past [`SOCKET_TIMEOUT`], or sends something malformed.
-fn handle_connection(stream: TcpStream, state: &Arc<AppState>) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(r) => r,
-            Err(ReadError::Idle) => return,
-            Err(ReadError::Bad(e)) => {
-                let code = if e == "body too large" { 413 } else { 400 };
-                record_http("other", code, 0.0);
-                respond(&mut writer, code, &Payload::Json(error_body(e)), false);
-                return;
-            }
-        };
-        let keep_alive = request.keep_alive;
-        let route_label = route_label(&request.path);
-        let inflight = tetris_obs::global().gauge("tetris_http_inflight", &[]);
-        inflight.inc();
-        let started = Instant::now();
-        let (code, payload) = route(&request, state);
-        record_http(route_label, code, started.elapsed().as_secs_f64());
-        inflight.dec();
-        respond(&mut writer, code, &payload, keep_alive);
-        if !keep_alive {
-            return;
-        }
-    }
 }
 
 /// Normalizes a request path into a bounded `route` label: per-id paths
 /// collapse to their prefix so metric cardinality stays fixed no matter
 /// what clients request.
-fn route_label(path: &str) -> &'static str {
+pub(crate) fn route_label(path: &str) -> &'static str {
     match path {
         "/batch" => "/batch",
         "/stats" => "/stats",
         "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
         "/trace" => "/trace",
         "/shards" => "/shards",
         "/regions" => "/regions",
@@ -510,7 +541,7 @@ fn route_label(path: &str) -> &'static str {
 
 /// Records one finished request: status-class counter and latency
 /// histogram, both labeled by normalized route.
-fn record_http(route: &'static str, code: u16, secs: f64) {
+pub(crate) fn record_http(route: &'static str, code: u16, secs: f64) {
     if !tetris_obs::enabled() {
         return;
     }
@@ -529,85 +560,119 @@ fn record_http(route: &'static str, code: u16, secs: f64) {
         .observe(secs);
 }
 
-fn route(request: &Request, state: &Arc<AppState>) -> (u16, Payload) {
+/// What a routed request wants from the connection layer.
+pub(crate) enum Outcome {
+    /// A complete response, ready to send.
+    Ready(u16, Payload),
+    /// Park the connection until job `id` completes or `wait` elapses,
+    /// then answer with [`job_response`] (reactor front-end only).
+    LongPoll {
+        id: u64,
+        wait: Duration,
+        with_qasm: bool,
+        with_trace: bool,
+    },
+    /// Open a chunked stream and push one frame per job as it completes
+    /// (reactor front-end only).
+    Stream(Vec<u64>),
+}
+
+impl Outcome {
+    fn ready(code: u16, body: String) -> Outcome {
+        Outcome::Ready(code, Payload::Json(body))
+    }
+}
+
+/// Routes one request. `async_ok` is true only on the reactor front-end,
+/// where long-poll parks and chunked streams are possible; the blocking
+/// front-end always gets [`Outcome::Ready`].
+pub(crate) fn route(request: &Request, state: &Arc<AppState>, async_ok: bool) -> Outcome {
     // Resolve the path first, then the method: an unknown path is 404 for
     // every method, a known path with the wrong method is 405.
     let method = request.method.as_str();
-    let (code, body) = match request.path.as_str() {
+    match request.path.as_str() {
         "/batch" => match method {
-            "POST" => post_batch(state, &request.body),
-            _ => (405, error_body("use POST /batch")),
+            "POST" => post_batch(state, &request.body, async_ok),
+            _ => Outcome::ready(405, error_body("use POST /batch")),
         },
         "/stats" => match method {
-            "GET" => (200, stats_body(state)),
-            _ => (405, error_body("use GET /stats")),
+            "GET" => Outcome::ready(200, stats_body(state)),
+            _ => Outcome::ready(405, error_body("use GET /stats")),
         },
         "/metrics" => match method {
-            "GET" => return (200, Payload::Text(metrics_body(state))),
-            _ => (405, error_body("use GET /metrics")),
+            "GET" => Outcome::Ready(200, Payload::Text(metrics_body(state))),
+            _ => Outcome::ready(405, error_body("use GET /metrics")),
+        },
+        "/healthz" => match method {
+            "GET" => Outcome::ready(200, healthz_body(state)),
+            _ => Outcome::ready(405, error_body("use GET /healthz")),
         },
         "/trace" => match method {
-            "GET" => (200, trace_body(&request.query)),
-            _ => (405, error_body("use GET /trace")),
+            "GET" => Outcome::ready(200, trace_body(&request.query)),
+            _ => Outcome::ready(405, error_body("use GET /trace")),
         },
         "/shards" => match method {
-            "GET" => (200, shards_body(state)),
-            _ => (405, error_body("use GET /shards")),
+            "GET" => Outcome::ready(200, shards_body(state)),
+            _ => Outcome::ready(405, error_body("use GET /shards")),
         },
         "/regions" => match method {
-            "GET" => (200, regions_body(state)),
-            _ => (405, error_body("use GET /regions")),
+            "GET" => Outcome::ready(200, regions_body(state)),
+            _ => Outcome::ready(405, error_body("use GET /regions")),
         },
         path => {
             if let Some(id) = path.strip_prefix("/job/") {
                 match method {
-                    "GET" => get_job(state, id, &request.query),
-                    "DELETE" => delete_job(state, id),
-                    _ => (405, error_body("use GET or DELETE /job/<id>")),
+                    "GET" => get_job(state, id, &request.query, async_ok),
+                    "DELETE" => {
+                        let (code, body) = delete_job(state, id);
+                        Outcome::ready(code, body)
+                    }
+                    _ => Outcome::ready(405, error_body("use GET or DELETE /job/<id>")),
                 }
             } else if let Some(key) = path.strip_prefix("/shard/") {
                 match method {
-                    "GET" => get_shard(state, key, &request.query),
-                    _ => (405, error_body("use GET /shard/<key>")),
+                    "GET" => {
+                        let (code, body) = get_shard(state, key, &request.query);
+                        Outcome::ready(code, body)
+                    }
+                    _ => Outcome::ready(405, error_body("use GET /shard/<key>")),
                 }
             } else {
-                (404, error_body("no such route"))
+                Outcome::ready(404, error_body("no such route"))
             }
         }
-    };
-    (code, Payload::Json(body))
+    }
 }
 
 // --------------------------------------------------------------- handlers
 
-fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
+fn post_batch(state: &Arc<AppState>, body: &[u8], async_ok: bool) -> Outcome {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
-        Err(_) => return (400, error_body("body is not UTF-8")),
+        Err(_) => return Outcome::ready(400, error_body("body is not UTF-8")),
     };
     let doc = match parse(text) {
         Ok(v) => v,
-        Err(e) => return (400, error_body(&format!("bad JSON: {e}"))),
+        Err(e) => return Outcome::ready(400, error_body(&format!("bad JSON: {e}"))),
     };
     let Some(specs) = doc.get("jobs").and_then(Value::as_arr) else {
-        return (400, error_body("missing `jobs` array"));
+        return Outcome::ready(400, error_body("missing `jobs` array"));
     };
     if specs.is_empty() {
-        return (400, error_body("empty batch"));
+        return Outcome::ready(400, error_body("empty batch"));
     }
-    let shard = match doc.get("shard") {
-        None => false,
-        Some(v) => match v.as_bool() {
-            Some(b) => b,
-            None => return (400, error_body("`shard` must be a boolean")),
-        },
+    let flag = |key: &str| match doc.get(key) {
+        None => Ok(false),
+        Some(v) => v.as_bool().ok_or(()),
     };
-    let resident = match doc.get("resident") {
-        None => false,
-        Some(v) => match v.as_bool() {
-            Some(b) => b,
-            None => return (400, error_body("`resident` must be a boolean")),
-        },
+    let Ok(shard) = flag("shard") else {
+        return Outcome::ready(400, error_body("`shard` must be a boolean"));
+    };
+    let Ok(resident) = flag("resident") else {
+        return Outcome::ready(400, error_body("`resident` must be a boolean"));
+    };
+    let Ok(stream) = flag("stream") else {
+        return Outcome::ready(400, error_body("`stream` must be a boolean"));
     };
     // With `--resident-regions`, sharding clients get residency for free.
     let resident = resident || (shard && state.config.resident_by_default);
@@ -619,27 +684,27 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
     for (i, spec) in specs.iter().enumerate() {
         let field = |key: &str| spec.get(key).and_then(Value::as_str);
         let Some(workload) = field("workload") else {
-            return (400, error_body(&format!("job {i}: missing `workload`")));
+            return Outcome::ready(400, error_body(&format!("job {i}: missing `workload`")));
         };
         let Some(backend_name) = field("backend") else {
-            return (400, error_body(&format!("job {i}: missing `backend`")));
+            return Outcome::ready(400, error_body(&format!("job {i}: missing `backend`")));
         };
         let device_name = field("device").unwrap_or("heavy-hex");
 
         let Some(backend) = crate::registry::backend(backend_name) else {
-            return (
+            return Outcome::ready(
                 400,
                 error_body(&format!("job {i}: unknown backend `{backend_name}`")),
             );
         };
         let Some(graph) = interner.device(device_name) else {
-            return (
+            return Outcome::ready(
                 400,
                 error_body(&format!("job {i}: unknown device `{device_name}`")),
             );
         };
         let Some(ham) = interner.workload(workload) else {
-            return (
+            return Outcome::ready(
                 400,
                 error_body(&format!("job {i}: unknown workload `{workload}`")),
             );
@@ -647,14 +712,27 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
         jobs.push(CompileJob::new(workload, backend, ham, graph));
     }
 
-    // Reserve ids, record pending, compile on a detached thread.
+    // Admission control: claim in-flight slots for the whole batch or shed
+    // it whole before anything is enqueued.
+    let n = jobs.len() as u64;
+    let claimed = state.inflight_jobs.fetch_add(n, Ordering::AcqRel) + n;
+    if claimed > state.config.max_inflight as u64 {
+        state.inflight_jobs.fetch_sub(n, Ordering::AcqRel);
+        state.shed_inflight.fetch_add(1, Ordering::Relaxed);
+        return Outcome::ready(
+            503,
+            error_body("server at capacity: too many in-flight jobs"),
+        );
+    }
+
+    // Reserve ids and record pending rows (no sweep here — this is a hot
+    // path; the amortized tick sweeps).
     let first_id = state
         .next_id
         .fetch_add(jobs.len() as u64, Ordering::Relaxed);
     let ids: Vec<u64> = (0..jobs.len() as u64).map(|k| first_id + k).collect();
     {
         let mut table = state.jobs.lock().expect("job table lock");
-        state.sweep_expired(&mut table);
         for (id, job) in ids.iter().zip(&jobs) {
             table.insert(
                 *id,
@@ -665,43 +743,87 @@ fn post_batch(state: &Arc<AppState>, body: &[u8]) -> (u16, String) {
         }
     }
 
-    let worker_state = state.clone();
-    let worker_ids = ids.clone();
-    std::thread::spawn(move || {
-        let results = if resident {
-            worker_state
-                .scheduler
-                .schedule_batch(&worker_state.engine, jobs)
-                .results
-        } else if shard {
-            let batch = worker_state
-                .engine
-                .compile_batch_sharded(jobs, &ShardConfig::default());
-            record_shards(&worker_state, batch.shards);
-            batch.results
-        } else {
-            worker_state.engine.compile_batch(jobs)
-        };
-        if let Some(path) = &worker_state.config.trace_log {
-            append_trace_log(path, &results);
-        }
-        let done_at = Instant::now();
-        let mut table = worker_state.jobs.lock().expect("job table lock");
-        for (id, result) in worker_ids.into_iter().zip(results) {
-            // Only fill slots that still exist: a `DELETE`d pending job
-            // must not be resurrected into the table (its result still
-            // lands in the engine cache).
-            if let Some(record) = table.get_mut(&id) {
-                *record = JobRecord::Done {
-                    result: Box::new(result),
-                    done_at,
-                };
+    if resident || shard {
+        // Region-routed batches complete as a unit (the planner needs the
+        // whole batch): compile on a detached thread, then land every
+        // record and notify per job.
+        let worker_state = state.clone();
+        let worker_ids = ids.clone();
+        std::thread::spawn(move || {
+            let results = if resident {
+                worker_state
+                    .scheduler
+                    .schedule_batch(&worker_state.engine, jobs)
+                    .results
+            } else {
+                let batch = worker_state
+                    .engine
+                    .compile_batch_sharded(jobs, &ShardConfig::default());
+                record_shards(&worker_state, batch.shards);
+                batch.results
+            };
+            if let Some(path) = &worker_state.config.trace_log {
+                append_trace_log(path, &results);
             }
-        }
-    });
+            let done_at = Instant::now();
+            {
+                let mut table = worker_state.jobs.lock().expect("job table lock");
+                for (id, result) in worker_ids.iter().zip(results) {
+                    // Only fill slots that still exist: a `DELETE`d pending
+                    // job must not be resurrected into the table (its
+                    // result still lands in the engine cache).
+                    if let Some(record) = table.get_mut(id) {
+                        *record = JobRecord::Done {
+                            result: Box::new(result),
+                            done_at,
+                        };
+                    }
+                }
+            }
+            worker_state
+                .inflight_jobs
+                .fetch_sub(worker_ids.len() as u64, Ordering::AcqRel);
+            for id in worker_ids {
+                worker_state.notifier.job_done(id);
+            }
+        });
+    } else {
+        // Plain batches push per job: each result lands in the table and
+        // wakes its waiters the moment the pool finishes it, so long-polls
+        // and stream frames never wait for the slowest sibling.
+        let sink_state = state.clone();
+        let sink_ids = ids.clone();
+        state.engine.submit_batch(jobs, move |result| {
+            let id = sink_ids[result.index];
+            if let Some(path) = &sink_state.config.trace_log {
+                append_trace_log(path, std::slice::from_ref(&result));
+            }
+            let done_at = Instant::now();
+            {
+                let mut table = sink_state.jobs.lock().expect("job table lock");
+                if let Some(record) = table.get_mut(&id) {
+                    *record = JobRecord::Done {
+                        result: Box::new(result),
+                        done_at,
+                    };
+                }
+            }
+            sink_state.inflight_jobs.fetch_sub(1, Ordering::AcqRel);
+            sink_state.notifier.job_done(id);
+        });
+    }
 
-    let body = format!("{{ \"job_ids\": {ids:?} }}\n");
-    (200, body)
+    if stream && async_ok {
+        Outcome::Stream(ids)
+    } else {
+        Outcome::ready(200, job_ids_body(&ids))
+    }
+}
+
+/// The `{"job_ids": …}` acknowledgment — a plain batch's whole response,
+/// and a streaming batch's first frame.
+pub(crate) fn job_ids_body(ids: &[u64]) -> String {
+    format!("{{ \"job_ids\": {ids:?} }}\n")
 }
 
 /// Rolls a sharded batch's reports into the bounded summary ring.
@@ -753,33 +875,81 @@ fn append_trace_log(path: &std::path::Path, results: &[JobResult]) {
     }
 }
 
-fn get_job(state: &AppState, id: &str, query: &str) -> (u16, String) {
+fn get_job(state: &Arc<AppState>, id: &str, query: &str, async_ok: bool) -> Outcome {
     let Ok(id) = id.parse::<u64>() else {
-        return (400, error_body("job id must be an integer"));
+        return Outcome::ready(400, error_body("job id must be an integer"));
     };
     // Exact key=value match — `?noqasm=1` must not trigger embedding.
     let with_qasm = query.split('&').any(|kv| kv == "qasm=1");
     let with_trace = query.split('&').any(|kv| kv == "trace=1");
+    if async_ok && query.split('&').any(|kv| kv == "wait=1") {
+        let is_pending = {
+            let table = state.jobs.lock().expect("job table lock");
+            matches!(table.get(&id), Some(JobRecord::Pending { .. }))
+        };
+        // Park only while pending: if the job completes between this check
+        // and the reactor registering the park, the completion notification
+        // is already queued and wakes the park on the very next loop turn.
+        if is_pending {
+            let wait = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("wait_ms="))
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(state.config.wait_timeout)
+                .min(state.config.wait_timeout);
+            return Outcome::LongPoll {
+                id,
+                wait,
+                with_qasm,
+                with_trace,
+            };
+        }
+    }
+    let (code, payload) = job_response(state, id, with_qasm, with_trace);
+    Outcome::Ready(code, payload)
+}
+
+/// The `GET /job/<id>` response for the record's current state — also the
+/// body a woken or timed-out long-poll answers with, so a long-polled
+/// result is bit-identical to a polled one.
+pub(crate) fn job_response(
+    state: &AppState,
+    id: u64,
+    with_qasm: bool,
+    with_trace: bool,
+) -> (u16, Payload) {
     // Copy the record out (a JobResult clone is an Arc bump plus a few
     // strings) so QASM serialization never runs under the table lock.
     let record = {
-        let mut table = state.jobs.lock().expect("job table lock");
-        state.sweep_expired(&mut table);
+        let table = state.jobs.lock().expect("job table lock");
         match table.get(&id) {
-            None => return (404, error_body(&format!("no job {id}"))),
+            None => return (404, Payload::Json(error_body(&format!("no job {id}")))),
             Some(JobRecord::Pending { name }) => {
                 return (
                     200,
-                    format!(
+                    Payload::Json(format!(
                         "{{ \"id\": {id}, \"name\": \"{}\", \"status\": \"pending\" }}\n",
                         escape(name)
-                    ),
+                    )),
                 )
             }
             Some(JobRecord::Done { result, .. }) => (**result).clone(),
         }
     };
-    (200, job_body(id, &record, with_qasm, with_trace))
+    (
+        200,
+        Payload::Json(job_body(id, &record, with_qasm, with_trace)),
+    )
+}
+
+/// One streamed frame of a `"stream": true` batch: the exact
+/// `GET /job/<id>` body for the completed job, so stream consumers see
+/// digests bit-identical to pollers.
+pub(crate) fn job_frame(state: &AppState, id: u64) -> String {
+    match job_response(state, id, false, false) {
+        (_, Payload::Json(body)) | (_, Payload::Text(body)) => body,
+    }
 }
 
 fn delete_job(state: &AppState, id: &str) -> (u16, String) {
@@ -853,6 +1023,17 @@ fn job_body(id: u64, r: &JobResult, with_qasm: bool, with_trace: bool) -> String
     )
 }
 
+/// `GET /healthz`: liveness from two atomics — no engine, cache or
+/// scheduler locks, so load balancers and stress clients can probe
+/// without touching the compile path.
+fn healthz_body(state: &AppState) -> String {
+    format!(
+        "{{ \"inflight\": {}, \"connections\": {} }}\n",
+        state.inflight_jobs.load(Ordering::Relaxed),
+        state.connections.load(Ordering::Relaxed),
+    )
+}
+
 fn stats_body(state: &AppState) -> String {
     let c = state.engine.cache_stats();
     let s = state.scheduler.stats();
@@ -901,9 +1082,9 @@ fn stats_body(state: &AppState) -> String {
 }
 
 /// `GET /metrics`: Prometheus text exposition of the process registry.
-/// Pull-model counters owned by the cache and job table are synced into
-/// the registry first, so one scrape agrees with `/stats` at the same
-/// instant.
+/// Pull-model counters owned by the cache, job table and front-end are
+/// synced into the registry first, so one scrape agrees with `/stats` and
+/// `/healthz` at the same instant.
 fn metrics_body(state: &AppState) -> String {
     let g = tetris_obs::global();
     let c = state.engine.cache_stats();
@@ -953,6 +1134,21 @@ fn metrics_body(state: &AppState) -> String {
     g.counter("tetris_dist_rows_computed_total", &[])
         .set(rows_computed);
     g.counter("tetris_dist_row_hits_total", &[]).set(row_hits);
+    // Front-end connection/backpressure series, re-synced at scrape like
+    // the scheduler gauges (zero-valued shed counters still render, so
+    // dashboards and CI can assert their presence before any shedding).
+    g.gauge("tetris_http_connections", &[])
+        .set(state.connections.load(Ordering::Relaxed) as i64);
+    g.counter("tetris_http_accepted_total", &[])
+        .set(state.accepted_total.load(Ordering::Relaxed));
+    g.counter("tetris_http_shed_total", &[("reason", "connections")])
+        .set(state.shed_connections.load(Ordering::Relaxed));
+    g.counter("tetris_http_shed_total", &[("reason", "inflight")])
+        .set(state.shed_inflight.load(Ordering::Relaxed));
+    g.gauge("tetris_longpoll_waiters", &[])
+        .set(state.longpoll_waiters.load(Ordering::Relaxed) as i64);
+    g.gauge("tetris_server_jobs_inflight", &[])
+        .set(state.inflight_jobs.load(Ordering::Relaxed) as i64);
     let (jobs_total, pending) = {
         let mut table = state.jobs.lock().expect("job table lock");
         state.sweep_expired(&mut table);

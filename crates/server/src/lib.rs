@@ -30,8 +30,14 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod blocking;
+pub mod conn;
 pub mod http;
 pub mod json;
+pub mod notify;
+pub mod poll;
+pub(crate) mod reactor;
 pub mod registry;
 
-pub use http::{AppState, CompileServer, ServerConfig};
+pub use http::{AppState, CompileServer, FrontEnd, ServerConfig, ServerHandle};
+pub use notify::Notifier;

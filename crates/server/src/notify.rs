@@ -1,0 +1,102 @@
+//! Completion notifications: engine → reactor.
+//!
+//! Worker sinks finish jobs on pool threads; the reactor sleeps in
+//! `poll(2)`. A [`Notifier`] bridges the two: completions land in a
+//! mutexed queue and a single byte is written to the reactor's wakeup
+//! pipe (one end of a nonblocking `UnixStream` pair), so the reactor
+//! returns from `poll` immediately, drains the queue, and pushes
+//! responses to long-polling and streaming clients. While no reactor is
+//! attached (the thread-per-connection fallback front-end, or before
+//! `serve_*` is called) notifications are dropped instead of queued, so
+//! the queue cannot grow unboundedly under a front-end that never drains
+//! it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cloneable handle for pushing job-completion events (and the shutdown
+/// signal) into the reactor.
+#[derive(Debug, Clone)]
+pub struct Notifier {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Completed job ids awaiting reactor processing.
+    events: Mutex<Vec<u64>>,
+    /// Set once by [`Notifier::shutdown`]; the reactor drains and exits.
+    shutdown: AtomicBool,
+    /// Whether a reactor is attached and draining the queue.
+    active: AtomicBool,
+    /// The write end of the reactor's wakeup pipe.
+    #[cfg(unix)]
+    wake: Mutex<Option<std::os::unix::net::UnixStream>>,
+}
+
+impl Default for Notifier {
+    fn default() -> Self {
+        Notifier::new()
+    }
+}
+
+impl Notifier {
+    /// A notifier with no reactor attached (events are dropped).
+    pub fn new() -> Self {
+        Notifier {
+            inner: Arc::new(Inner {
+                events: Mutex::new(Vec::new()),
+                shutdown: AtomicBool::new(false),
+                active: AtomicBool::new(false),
+                #[cfg(unix)]
+                wake: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Attaches the reactor: events queue from now on, and each queues a
+    /// wakeup byte on `wake_tx` (which must be nonblocking).
+    #[cfg(unix)]
+    pub(crate) fn activate(&self, wake_tx: std::os::unix::net::UnixStream) {
+        *self.inner.wake.lock().expect("wake lock") = Some(wake_tx);
+        self.inner.active.store(true, Ordering::Release);
+    }
+
+    /// Announces one finished job. Called from engine sink threads.
+    pub fn job_done(&self, id: u64) {
+        if !self.inner.active.load(Ordering::Acquire) {
+            return;
+        }
+        self.inner.events.lock().expect("event queue lock").push(id);
+        self.wake();
+    }
+
+    /// Requests a graceful drain: the reactor stops accepting, finishes
+    /// in-flight responses, and exits its loop.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.wake();
+    }
+
+    /// Whether a shutdown has been requested.
+    pub(crate) fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Drains and returns all queued completion events.
+    pub(crate) fn take_events(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.inner.events.lock().expect("event queue lock"))
+    }
+
+    /// Writes one wakeup byte; a full pipe means a wakeup is already
+    /// pending, so `WouldBlock` (and any other failure) is ignored.
+    fn wake(&self) {
+        #[cfg(unix)]
+        {
+            use std::io::Write as _;
+            if let Some(s) = &*self.inner.wake.lock().expect("wake lock") {
+                let _ = (&*s).write(&[1]);
+            }
+        }
+    }
+}

@@ -26,10 +26,11 @@ fn usage() -> ExitCode {
   tetris compare [--molecule NAME] [--encoder jw|bk] [--backend heavy-hex|sycamore]
   tetris bench-suite [--quick] [--threads N] [--passes P] [--backend heavy-hex|sycamore]
                      [--cache-dir DIR] [--cache-max-bytes B] [--shard] [--resident]
-                     [--profile] [--out FILE]
+                     [--profile] [--connections [N]] [--out FILE]
   tetris serve   [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--cache-capacity N]
                  [--cache-max-bytes B] [--job-ttl-secs S] [--trace-log FILE]
-                 [--resident-regions]
+                 [--resident-regions] [--max-connections N] [--max-inflight N]
+                 [--wait-timeout-ms MS] [--blocking-front-end]
 
 molecules: LiH BeH2 CH4 MgH2 LiCl CO2"
     );
@@ -201,7 +202,11 @@ fn cmd_compare(args: &Args) -> Option<ExitCode> {
 /// (carve-skip ratio + wall-clock speedup + digest pinning). With
 /// `--profile` the report gains a `"profile"` section measuring the
 /// observability layer's overhead (suite compiled cold with recording
-/// disabled vs enabled) plus per-stage wall-time aggregates.
+/// disabled vs enabled) plus per-stage wall-time aggregates. With
+/// `--connections [N]` (default 400) the report gains a `"connections"`
+/// section stress-testing the reactor front-end with N concurrent
+/// long-poll + streaming clients against the thread-per-connection
+/// baseline at N/4.
 fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     use std::sync::Arc;
     use std::time::Instant;
@@ -275,12 +280,21 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
     let profile = args
         .flag("--profile")
         .then(|| run_suite_profile(quick, threads, &graph));
+    let connections = args.flag("--connections").then(|| {
+        let n = args
+            .value("--connections")
+            .filter(|v| !v.starts_with("--"))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(400);
+        tetris::bench::connstress::run_conn_stress(n, threads)
+    });
     let report = json_report(
         engine.threads(),
         &report_passes,
         shard.as_ref(),
         resident.as_ref(),
         profile.as_ref(),
+        connections.as_ref(),
     );
     match args.value("--out") {
         Some(path) => {
@@ -299,10 +313,15 @@ fn cmd_bench_suite(args: &Args) -> Option<ExitCode> {
 /// `--trace-log FILE` appends one JSONL record per completed job (labels,
 /// engine wall, per-stage timeline); `--resident-regions` routes
 /// `"shard": true` batches through the resident-region scheduler, so
-/// carved regions stay alive across batches.
+/// carved regions stay alive across batches. Admission knobs:
+/// `--max-connections` caps live sockets and `--max-inflight` caps queued
+/// jobs (both shed with `503 + Retry-After` past the cap);
+/// `--wait-timeout-ms` bounds long-poll parks (`GET /job/<id>?wait=1`).
+/// `--blocking-front-end` serves thread-per-connection instead of the
+/// reactor (the bench baseline; also the default off unix).
 fn cmd_serve(args: &Args) -> Option<ExitCode> {
     use tetris::engine::EngineConfig;
-    use tetris::server::{CompileServer, ServerConfig};
+    use tetris::server::{CompileServer, FrontEnd, ServerConfig};
 
     let addr = args.value("--addr").unwrap_or("127.0.0.1:7421");
     let threads: usize = args
@@ -329,6 +348,18 @@ fn cmd_serve(args: &Args) -> Option<ExitCode> {
     }
     server_config.trace_log = args.value("--trace-log").map(std::path::PathBuf::from);
     server_config.resident_by_default = args.flag("--resident-regions");
+    if let Some(n) = args.value("--max-connections").and_then(|v| v.parse().ok()) {
+        server_config.max_connections = n;
+    }
+    if let Some(n) = args.value("--max-inflight").and_then(|v| v.parse().ok()) {
+        server_config.max_inflight = n;
+    }
+    if let Some(ms) = args.value("--wait-timeout-ms").and_then(|v| v.parse().ok()) {
+        server_config.wait_timeout = std::time::Duration::from_millis(ms);
+    }
+    if args.flag("--blocking-front-end") {
+        server_config.front_end = FrontEnd::Blocking;
+    }
     match CompileServer::bind_with(addr, config, server_config) {
         Ok(server) => {
             println!("listening on http://{}", server.local_addr());
